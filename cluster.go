@@ -1,0 +1,32 @@
+package graphpart
+
+import (
+	"github.com/graphpart/graphpart/internal/cluster"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// BSPConfig tunes a bulk-synchronous-parallel cluster simulation.
+type BSPConfig = cluster.Config
+
+// BSPMessage is a payload in flight between two simulated nodes.
+type BSPMessage = cluster.Message
+
+// BSPStats aggregates a BSP run's supersteps and network traffic.
+type BSPStats = cluster.Stats
+
+// BSPNodeFunc is one node's work for one superstep.
+type BSPNodeFunc = cluster.NodeFunc
+
+// RunBSP executes a node function under bulk-synchronous-parallel semantics
+// (messages sent in superstep s are delivered at s+1), counting every byte
+// that crosses a node boundary.
+func RunBSP(cfg BSPConfig, fn BSPNodeFunc) (BSPStats, error) { return cluster.Run(cfg, fn) }
+
+// RunDistributedPageRank executes PageRank over the partitioned graph on a
+// simulated BSP cluster with one node per partition and explicit 12-byte
+// wire records, returning the ranks, the BSP stats (network bytes track the
+// replication factor), and an error on invalid input.
+func RunDistributedPageRank(g *graph.Graph, a *partition.Assignment, damping float64, iterations int) ([]float64, BSPStats, error) {
+	return cluster.RunDistributedPageRank(g, a, damping, iterations)
+}

@@ -1,0 +1,144 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (several minutes)
+//	experiments -exp fig8 -csv results   # Fig 8 plus CSV output
+//	experiments -exp table4 -quick       # scaled-down datasets, seconds
+//
+// Experiments: table3, fig8, table4, fig9 (p=10), fig10 (p=15),
+// fig11 (p=20), table6, timing, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|all")
+		seed  = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
+		csv   = flag.String("csv", "", "directory for CSV output (optional)")
+		quick = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
+		only  = flag.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Seed: *seed, CSVDir: *csv, Out: os.Stdout}
+	if *quick {
+		cfg.Datasets = gen.SmallDatasets()
+		cfg.Ps = []int{4, 6, 8}
+	}
+	if *only != "" {
+		all := cfg.Datasets
+		if all == nil {
+			all = gen.Datasets()
+		}
+		var keep []gen.Dataset
+		for _, want := range strings.Split(*only, ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, d := range all {
+				if d.Notation == want {
+					keep = append(keep, d)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown dataset %q", want)
+			}
+		}
+		cfg.Datasets = keep
+	}
+
+	start := time.Now()
+	fmt.Printf("generating datasets (seed %d)...\n", *seed)
+	graphs, err := harness.RunTable3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated in %v\n", time.Since(start).Round(time.Millisecond))
+
+	wantFig8 := *exp == "fig8" || *exp == "table4" || *exp == "all"
+	switch *exp {
+	case "table3":
+		return nil
+	case "fig8", "table4", "all":
+	case "fig9", "fig10", "fig11", "table6", "timing", "ablation":
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if wantFig8 {
+		results, err := harness.RunFig8(cfg, graphs)
+		if err != nil {
+			return err
+		}
+		if *exp == "table4" || *exp == "all" {
+			if err := harness.RunTable4(cfg, results); err != nil {
+				return err
+			}
+		}
+	}
+	figPs := map[string]int{"fig9": 10, "fig10": 15, "fig11": 20}
+	if *quick {
+		figPs = map[string]int{"fig9": 4, "fig10": 6, "fig11": 8}
+	}
+	if p, ok := figPs[*exp]; ok {
+		if _, err := harness.RunFigR(cfg, graphs, p); err != nil {
+			return err
+		}
+	}
+	if *exp == "all" {
+		ps := cfg.Ps
+		if ps == nil {
+			ps = []int{10, 15, 20}
+		}
+		for _, p := range ps {
+			if _, err := harness.RunFigR(cfg, graphs, p); err != nil {
+				return err
+			}
+		}
+	}
+	if *exp == "table6" || *exp == "all" {
+		if err := harness.RunTable6(cfg, graphs); err != nil {
+			return err
+		}
+	}
+	if *exp == "timing" || *exp == "all" {
+		tp := 10
+		if *quick {
+			tp = 4
+		}
+		if err := harness.RunTiming(cfg, graphs, tp); err != nil {
+			return err
+		}
+	}
+	if *exp == "ablation" || *exp == "all" {
+		tp := 10
+		if *quick {
+			tp = 4
+		}
+		if err := harness.RunAblation(cfg, graphs, tp); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

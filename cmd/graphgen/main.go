@@ -1,0 +1,97 @@
+// Command graphgen emits synthetic graphs as edge-list files: either one of
+// the paper's dataset analogues (G1..G9) or a parameterised random model.
+//
+// Usage:
+//
+//	graphgen -dataset G3 -out hepph.txt
+//	graphgen -model chunglu -n 10000 -m 50000 -exponent 2.1 -out pl.txt.gz
+//	graphgen -model ba -n 10000 -k 4 -out ba.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset  = flag.String("dataset", "", "dataset notation G1..G9")
+		model    = flag.String("model", "", "model: chunglu|plc|ba|er|rmat|ws|collab|community|genealogy")
+		n        = flag.Int("n", 10000, "vertices")
+		m        = flag.Int("m", 50000, "target edges")
+		k        = flag.Int("k", 4, "per-vertex edges (ba) / ring degree (ws) / communities (community, plc) / trees (genealogy)")
+		exponent = flag.Float64("exponent", 2.1, "power-law exponent (chunglu, plc)")
+		beta     = flag.Float64("beta", 0.1, "rewiring probability (ws) / intra fraction (community, plc)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		out      = flag.String("out", "", "output file (.gz compresses); required")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("need -out FILE")
+	}
+	g, err := build(*dataset, *model, *n, *m, *k, *exponent, *beta, *seed)
+	if err != nil {
+		return err
+	}
+	if err := graphpart.SaveEdgeList(*out, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, graphpart.ComputeGraphStats(g))
+	return nil
+}
+
+func build(dataset, model string, n, m, k int, exponent, beta float64, seed uint64) (*graphpart.Graph, error) {
+	if dataset != "" {
+		d, err := graphpart.DatasetByNotation(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(seed), nil
+	}
+	r := rng.New(seed)
+	switch model {
+	case "chunglu":
+		return gen.ChungLu(gen.ChungLuConfig{Vertices: n, TargetEdges: m, Exponent: exponent}, r), nil
+	case "plc":
+		return gen.PowerLawCommunities(gen.PowerLawCommunityConfig{
+			Vertices: n, TargetEdges: m, Exponent: exponent,
+			Communities: k, IntraFraction: beta,
+		}, r), nil
+	case "ba":
+		return gen.BarabasiAlbert(n, k, r), nil
+	case "er":
+		return gen.ErdosRenyi(n, m, r), nil
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.RMAT(gen.RMATConfig{ScaleLog2: scale, Edges: m}, r), nil
+	case "ws":
+		return gen.WattsStrogatz(n, k, beta, r), nil
+	case "collab":
+		return gen.Collaboration(gen.CollabConfig{Authors: n, TargetEdges: m}, r), nil
+	case "community":
+		return gen.PlantedCommunities(gen.CommunityConfig{
+			Vertices: n, Communities: k, TargetEdges: m, IntraFraction: beta,
+		}, r), nil
+	case "genealogy":
+		return gen.Genealogy(gen.GenealogyConfig{People: n, TargetEdges: m, Trees: k}, r), nil
+	case "":
+		return nil, fmt.Errorf("need -dataset or -model")
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestBuildModels(t *testing.T) {
+	for _, model := range []string{"chunglu", "plc", "ba", "er", "rmat", "ws", "collab", "community", "genealogy"} {
+		g, err := build("", model, 200, 800, 4, 2.1, 0.5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s produced empty graph", model)
+		}
+	}
+	if _, err := build("", "", 10, 10, 2, 2, 0.5, 1); err == nil {
+		t.Fatal("no model accepted")
+	}
+	if _, err := build("", "bogus", 10, 10, 2, 2, 0.5, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	g, err := build("G1", "", 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 25571 {
+		t.Fatalf("G1 edges %d", g.NumEdges())
+	}
+	if _, err := build("G99", "", 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

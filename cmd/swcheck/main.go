@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/window"
+)
+
+func main() {
+	for _, nt := range []string{"G8", "G9"} {
+		d, _ := gen.DatasetByNotation(nt)
+		g := d.Generate(42)
+		t0 := time.Now()
+		a, err := window.New(window.Config{Seed: 42}).Partition(g, 10)
+		if err != nil {
+			panic(err)
+		}
+		rf, _ := partition.ReplicationFactor(g, a)
+		fmt.Printf("%s TLP-SW: %v RF=%.3f\n", nt, time.Since(t0).Round(time.Millisecond), rf)
+	}
+}

@@ -1,0 +1,174 @@
+// Command tlp partitions a graph with any algorithm in the library and
+// reports the paper's quality metrics.
+//
+// Usage:
+//
+//	tlp -input graph.txt -algo tlp -p 10
+//	tlp -dataset G3 -algo metis -p 15 -seed 7
+//	tlp -dataset G1 -algo tlpr -r 0.4 -p 10
+//
+// The input is either an edge-list file (-input; SNAP format, ".gz" allowed)
+// or one of the built-in synthetic datasets (-dataset G1..G9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	graphpart "github.com/graphpart/graphpart"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tlp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input   = flag.String("input", "", "edge-list file (SNAP format; .gz ok)")
+		dataset = flag.String("dataset", "", "built-in dataset notation (G1..G9)")
+		algo    = flag.String("algo", "tlp", "algorithm: tlp|tlpr|metis|ldg|fennel|dbh|random|greedy|hdrf")
+		p       = flag.Int("p", 10, "number of partitions")
+		r       = flag.Float64("r", 0.5, "stage ratio for -algo tlpr")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		stats   = flag.Bool("stats", false, "print TLP stage statistics (tlp/tlpr only)")
+		doRef   = flag.Bool("refine", false, "run the replica-consolidation refinement pass after partitioning")
+		report  = flag.String("report", "", "write a detailed per-partition report: 'text' or 'json'")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*input, *dataset, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s\n", graphpart.ComputeGraphStats(g))
+
+	start := time.Now()
+	var a *graphpart.Assignment
+	var tlpStats *graphpart.TLPStats
+	switch strings.ToLower(*algo) {
+	case "tlpr":
+		pt, err := graphpart.NewTLPR(*r, graphpart.TLPOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		var st graphpart.TLPStats
+		a, st, err = pt.PartitionStats(g, *p)
+		if err != nil {
+			return err
+		}
+		tlpStats = &st
+	case "tlp":
+		pt := graphpart.NewTLP(graphpart.TLPOptions{Seed: *seed})
+		var st graphpart.TLPStats
+		a, st, err = pt.PartitionStats(g, *p)
+		if err != nil {
+			return err
+		}
+		tlpStats = &st
+	default:
+		all := graphpart.AllPartitioners(*seed)
+		pt, ok := all[strings.ToLower(*algo)]
+		if !ok {
+			names := make([]string, 0, len(all))
+			for n := range all {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown algorithm %q (have: %s, tlpr)", *algo, strings.Join(names, ", "))
+		}
+		a, err = pt.Partition(g, *p)
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	if *doRef {
+		rs, err := graphpart.Refine(g, a, graphpart.RefineOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("refine: %d moves, %d edges moved, %d replicas removed\n",
+			rs.Moves, rs.EdgesMoved, rs.ReplicasRemoved)
+	}
+
+	m, err := graphpart.ComputeMetrics(g, a)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm: %s  p=%d  time=%v\n", *algo, *p, elapsed.Round(time.Millisecond))
+	fmt.Printf("replication factor: %.4f\n", m.ReplicationFactor)
+	fmt.Printf("balance: %.4f (loads %d..%d, capacity %d)\n",
+		m.Balance, m.MinLoad, m.MaxLoad, graphpart.Capacity(g.NumEdges(), *p))
+	fmt.Printf("spanned vertices: %d of %d\n", m.SpannedVertices, g.NumVertices())
+	finite, inf := 0, 0
+	minMod, maxMod := math.Inf(1), math.Inf(-1)
+	for _, mod := range m.Modularity {
+		if math.IsInf(mod, 1) {
+			inf++
+			continue
+		}
+		finite++
+		if mod < minMod {
+			minMod = mod
+		}
+		if mod > maxMod {
+			maxMod = mod
+		}
+	}
+	if finite > 0 {
+		fmt.Printf("partition modularity: min %.3f, max %.3f (%d isolated partitions)\n", minMod, maxMod, inf)
+	}
+	switch *report {
+	case "":
+	case "text", "json":
+		rep, err := graphpart.BuildReport(g, a)
+		if err != nil {
+			return err
+		}
+		if *report == "json" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else if err := rep.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown report format %q (text or json)", *report)
+	}
+	if *stats && tlpStats != nil {
+		fmt.Printf("stage I selections: %d (avg degree %.2f)\n",
+			tlpStats.Stage1Selections, tlpStats.AvgDegreeStage1())
+		fmt.Printf("stage II selections: %d (avg degree %.2f)\n",
+			tlpStats.Stage2Selections, tlpStats.AvgDegreeStage2())
+		fmt.Printf("reseeds: %d  partial absorptions: %d  swept edges: %d\n",
+			tlpStats.Reseeds, tlpStats.PartialAbsorptions, tlpStats.SweptEdges)
+	}
+	return nil
+}
+
+func loadGraph(input, dataset string, seed uint64) (*graphpart.Graph, error) {
+	switch {
+	case input != "" && dataset != "":
+		return nil, fmt.Errorf("use -input or -dataset, not both")
+	case input != "":
+		g, _, err := graphpart.LoadEdgeList(input)
+		return g, err
+	case dataset != "":
+		d, err := graphpart.DatasetByNotation(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(seed), nil
+	default:
+		return nil, fmt.Errorf("need -input FILE or -dataset G1..G9")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphModes(t *testing.T) {
+	if _, err := loadGraph("", "", 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := loadGraph("x", "G1", 1); err == nil {
+		t.Fatal("both inputs accepted")
+	}
+	if _, err := loadGraph("", "G99", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("loaded %d edges", g.NumEdges())
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt"), "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,66 @@
+// Compare every partitioner in the library on one graph, reporting
+// replication factor, balance and runtime — a miniature of the paper's
+// Fig. 8 extended with the Greedy/HDRF/FENNEL partitioners.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	graphpart "github.com/graphpart/graphpart"
+)
+
+func main() {
+	dataset := "G3"
+	if len(os.Args) > 1 {
+		dataset = os.Args[1]
+	}
+	d, err := graphpart.DatasetByNotation(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Generate(42)
+	fmt.Println("graph:", graphpart.ComputeGraphStats(g))
+	const p = 10
+
+	names := make([]string, 0)
+	all := graphpart.AllPartitioners(42)
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tRF\tbalance\ttime")
+	type row struct {
+		name string
+		rf   float64
+	}
+	var rows []row
+	for _, name := range names {
+		pt := all[name]
+		start := time.Now()
+		a, err := pt.Partition(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		m, err := graphpart.ComputeMetrics(g, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%v\n", pt.Name(), m.ReplicationFactor, m.Balance,
+			elapsed.Round(time.Millisecond))
+		rows = append(rows, row{pt.Name(), m.ReplicationFactor})
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rf < rows[j].rf })
+	fmt.Printf("\nbest RF: %s (%.3f), worst: %s (%.3f)\n",
+		rows[0].name, rows[0].rf, rows[len(rows)-1].name, rows[len(rows)-1].rf)
+}

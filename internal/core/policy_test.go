@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := New(Options{Stage1Policy: 99}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, pol := range []Stage1Policy{0, PolicyMuS1, PolicyMaxDegree} {
+		if _, err := New(Options{Stage1Policy: pol}); err != nil {
+			t.Fatalf("policy %d rejected: %v", pol, err)
+		}
+	}
+}
+
+func TestPolicyMaxDegreeValid(t *testing.T) {
+	g := randomGraph(41, 300, 900)
+	tlp := MustNew(Options{Seed: 43, Stage1Policy: PolicyMaxDegree})
+	a, err := tlp.Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{}); err != nil {
+		t.Fatalf("max-degree policy invalid: %v", err)
+	}
+}
+
+func TestPolicyMaxDegreeDeterministic(t *testing.T) {
+	g := randomGraph(42, 150, 450)
+	opts := Options{Seed: 44, Stage1Policy: PolicyMaxDegree}
+	a1, err := MustNew(opts).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := MustNew(opts).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		k1, _ := a1.PartitionOf(int32(id))
+		k2, _ := a2.PartitionOf(int32(id))
+		if k1 != k2 {
+			t.Fatal("max-degree policy not deterministic")
+		}
+	}
+}
+
+// TestPolicyAblationOnCommunities: on a community-structured graph the
+// closeness term should matter — mu_s1 must not lose badly to max-degree.
+// (This is the DESIGN.md §6 ablation; exact ordering is graph-dependent, so
+// the test only rules out a blow-up.)
+func TestPolicyAblationOnCommunities(t *testing.T) {
+	g := gen.PlantedCommunities(gen.CommunityConfig{
+		Vertices: 800, Communities: 16, TargetEdges: 8000, IntraFraction: 0.8,
+	}, rng.New(45))
+	rfOf := func(pol Stage1Policy) float64 {
+		a, err := MustNew(Options{Seed: 46, Stage1Policy: pol}).Partition(g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	mu := rfOf(PolicyMuS1)
+	md := rfOf(PolicyMaxDegree)
+	t.Logf("mu_s1 RF=%.3f, max-degree RF=%.3f", mu, md)
+	if mu > 1.5*md {
+		t.Fatalf("mu_s1 policy much worse than max-degree: %.3f vs %.3f", mu, md)
+	}
+}
+
+// TestPolicyMaxDegreePicksHubs: the stage-I degree statistic must reflect
+// the policy (hubs first).
+func TestPolicyMaxDegreePicksHubs(t *testing.T) {
+	g := gen.ChungLu(gen.ChungLuConfig{Vertices: 2000, TargetEdges: 10000, Exponent: 2.1}, rng.New(47))
+	_, stats, err := MustNew(Options{Seed: 48, Stage1Policy: PolicyMaxDegree}).PartitionStats(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stage1Selections == 0 {
+		t.Skip("no stage-I selections on this seed")
+	}
+	if stats.AvgDegreeStage1() <= g.AvgDegree() {
+		t.Fatalf("max-degree stage I picked avg degree %.2f, graph average %.2f",
+			stats.AvgDegreeStage1(), g.AvgDegree())
+	}
+}

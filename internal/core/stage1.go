@@ -1,0 +1,259 @@
+package core
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// Stage-I selection maximises mu_s1 (Eq. 7): the closeness of a frontier
+// candidate v to the partition, taken as the best overlap ratio
+// |N(v) ∩ N(j)| / |N(j)| over partition members j adjacent to v.
+//
+// Two evaluation modes exist:
+//
+//   - Cached/incremental (default): when member j is absorbed, each frontier
+//     neighbour v gains exactly one new term overlap(v,j)/|N(j)|; the cached
+//     score is the running maximum of the terms observed, and a lazy max-heap
+//     orders candidates. Per absorption this costs O(deg(j) + sum of deg(v)
+//     over j's frontier neighbours), so a whole round stays near the paper's
+//     O(L²d²) bound without rescanning the frontier every step. Terms are
+//     frozen as evaluated (alive-degree drift after evaluation is ignored).
+//   - Exact (Options.Stage1Exact): every step recomputes every candidate
+//     from scratch — the paper's literal evaluation order; used by tests and
+//     available for small graphs.
+
+// scoreEntry is a lazy max-heap entry for Stage-I selection. deg is the
+// candidate's alive degree at push time and only breaks ties.
+type scoreEntry struct {
+	score float64
+	deg   int32
+	v     graph.Vertex
+}
+
+// scoreHeap is a binary max-heap ordered by (score desc, deg desc, v asc).
+type scoreHeap []scoreEntry
+
+func (h scoreHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.deg != b.deg {
+		return a.deg > b.deg
+	}
+	return a.v < b.v
+}
+
+func (h *scoreHeap) push(e scoreEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *scoreHeap) pop() (scoreEntry, bool) {
+	old := *h
+	if len(old) == 0 {
+		return scoreEntry{}, false
+	}
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && (*h).less(l, best) {
+			best = l
+		}
+		if r < last && (*h).less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		(*h)[i], (*h)[best] = (*h)[best], (*h)[i]
+		i = best
+	}
+	return top, true
+}
+
+func (h scoreHeap) peek() (scoreEntry, bool) {
+	if len(h) == 0 {
+		return scoreEntry{}, false
+	}
+	return h[0], true
+}
+
+// selectStage1 returns the frontier candidate with the best cached mu_s1
+// score (incremental mode) or recomputes all candidates (exact mode).
+func (st *runState) selectStage1() (graph.Vertex, bool) {
+	if st.opts.stage1Policy() == PolicyMaxDegree {
+		return st.selectStage1MaxDegree()
+	}
+	if st.opts.Stage1Exact {
+		return st.selectStage1Exact()
+	}
+	for {
+		e, ok := st.mu1Heap.peek()
+		if !ok {
+			return 0, false
+		}
+		if st.inFrontier(e.v) && !st.isMember(e.v) &&
+			st.aliveDeg[e.v] > 0 && e.score == st.mu1Score[e.v] {
+			return e.v, true
+		}
+		_, _ = st.mu1Heap.pop()
+	}
+}
+
+// selectStage1MaxDegree is the PolicyMaxDegree ablation: absorb the frontier
+// vertex with the highest remaining degree, ignoring closeness entirely.
+func (st *runState) selectStage1MaxDegree() (graph.Vertex, bool) {
+	var bestV graph.Vertex
+	bestDeg := int32(-1)
+	found := false
+	w := 0
+	for _, u := range st.frontierList {
+		if !st.inFrontier(u) || st.isMember(u) || st.aliveDeg[u] <= 0 {
+			continue
+		}
+		st.frontierList[w] = u
+		w++
+		if st.aliveDeg[u] > bestDeg || (st.aliveDeg[u] == bestDeg && u < bestV) {
+			bestV, bestDeg, found = u, st.aliveDeg[u], true
+		}
+	}
+	st.frontierList = st.frontierList[:w]
+	return bestV, found
+}
+
+// selectStage1Exact scans and rescores the whole frontier (compacting
+// absorbed entries out of the list), matching the paper's literal loop.
+func (st *runState) selectStage1Exact() (graph.Vertex, bool) {
+	best := -1.0
+	var bestV graph.Vertex
+	bestDeg := int32(-1)
+	found := false
+	w := 0
+	for _, u := range st.frontierList {
+		if !st.inFrontier(u) || st.isMember(u) || st.aliveDeg[u] <= 0 {
+			continue
+		}
+		st.frontierList[w] = u
+		w++
+		s := st.computeMu1(u)
+		if !found || s > best ||
+			(s == best && (st.aliveDeg[u] > bestDeg ||
+				(st.aliveDeg[u] == bestDeg && u < bestV))) {
+			best, bestV, bestDeg, found = s, u, st.aliveDeg[u], true
+		}
+	}
+	st.frontierList = st.frontierList[:w]
+	return bestV, found
+}
+
+// updateStage1Scores folds the newly absorbed member j into the cached
+// mu_s1 scores of its frontier neighbours: each gains the candidate term
+// overlap(v, j) / |N(j)| where N(·) is the alive neighbourhood.
+func (st *runState) updateStage1Scores(j graph.Vertex) {
+	if st.opts.Stage1Exact || st.opts.stage1Policy() == PolicyMaxDegree {
+		return // these modes rescan; no cache to maintain
+	}
+	dj := st.aliveDeg[j]
+	if dj <= 0 {
+		return
+	}
+	g := st.g
+	mark := st.nextMark()
+	jn := g.Neighbors(j)
+	je := g.IncidentEdges(j)
+	for i, u := range jn {
+		if !st.a.IsAssigned(je[i]) {
+			st.markStamp[u] = mark
+		}
+	}
+	djf := float64(dj)
+	for i, v := range jn {
+		if st.a.IsAssigned(je[i]) || st.isMember(v) {
+			continue
+		}
+		overlap := st.countOverlap(v, mark)
+		if score := float64(overlap) / djf; score > st.mu1Score[v] {
+			st.mu1Score[v] = score
+			st.mu1Heap.push(scoreEntry{score: score, deg: st.aliveDeg[v], v: v})
+		}
+	}
+}
+
+// countOverlap counts alive neighbours of v carrying the given mark,
+// sampling v's adjacency row with a stride when Stage1NeighborCap bounds it
+// (the count is scaled back up).
+func (st *runState) countOverlap(v graph.Vertex, mark int32) int {
+	g := st.g
+	vn := g.Neighbors(v)
+	ve := g.IncidentEdges(v)
+	stride := 1
+	if capN := st.opts.Stage1NeighborCap; capN > 0 && len(vn) > capN {
+		stride = (len(vn) + capN - 1) / capN
+	}
+	cnt := 0
+	for idx := 0; idx < len(vn); idx += stride {
+		if st.a.IsAssigned(ve[idx]) {
+			continue
+		}
+		if st.markStamp[vn[idx]] == mark {
+			cnt++
+		}
+	}
+	if stride > 1 {
+		cnt *= stride
+	}
+	return cnt
+}
+
+// computeMu1 evaluates Eq. 7 for candidate v from scratch (exact mode):
+// the maximum over alive member neighbours j of overlap(v,j)/|N(j)|.
+func (st *runState) computeMu1(v graph.Vertex) float64 {
+	g := st.g
+	mark := st.nextMark()
+	nbrs := g.Neighbors(v)
+	eids := g.IncidentEdges(v)
+	for i, u := range nbrs {
+		if !st.a.IsAssigned(eids[i]) {
+			st.markStamp[u] = mark
+		}
+	}
+	best := 0.0
+	examined := 0
+	for i, j := range nbrs {
+		if st.a.IsAssigned(eids[i]) || !st.isMember(j) {
+			continue
+		}
+		if capM := st.opts.Stage1MemberCap; capM > 0 && examined >= capM {
+			break
+		}
+		examined++
+		dj := st.aliveDeg[j]
+		if dj <= 0 {
+			continue
+		}
+		common := st.overlapOf(j, mark)
+		if score := float64(common) / float64(dj); score > best {
+			best = score
+		}
+	}
+	return best
+}
+
+// overlapOf counts alive neighbours of j carrying the mark (the stamped
+// alive neighbourhood of the candidate), sampled under Stage1NeighborCap.
+func (st *runState) overlapOf(j graph.Vertex, mark int32) int {
+	return st.countOverlap(j, mark)
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// TLP is the paper's two-stage local partitioner: the stage switch happens
+// when the growing partition's modularity M(P_k) crosses 1 (Table II).
+type TLP struct {
+	opts Options
+}
+
+var _ partition.Partitioner = (*TLP)(nil)
+
+// New returns a TLP partitioner with the given options.
+func New(opts Options) (*TLP, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &TLP{opts: opts}, nil
+}
+
+// MustNew is New that panics on invalid options; for tests and examples.
+func MustNew(opts Options) *TLP {
+	t, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements partition.Partitioner.
+func (t *TLP) Name() string { return "TLP" }
+
+// Partition assigns every edge of g to one of p partitions.
+func (t *TLP) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	a, _, err := t.PartitionStats(g, p)
+	return a, err
+}
+
+// PartitionStats is Partition, additionally returning the run statistics
+// (per-stage selection counts and degree sums; Table VI).
+func (t *TLP) PartitionStats(g *graph.Graph, p int) (*partition.Assignment, Stats, error) {
+	return runLocal(g, p, t.opts, func(ein, eout int64, _ int) bool {
+		// Stage I while M = ein/eout <= 1 (Table II); eout cannot be 0
+		// here because selection only happens with a nonempty frontier.
+		return ein <= eout
+	})
+}
+
+// TLPR is the ablation variant of Section IV.C: the stage switch happens at
+// a fixed fraction R of the capacity instead of the modularity threshold.
+// R=0 degenerates to pure Stage II, R=1 to pure Stage I.
+type TLPR struct {
+	r    float64
+	opts Options
+}
+
+var _ partition.Partitioner = (*TLPR)(nil)
+
+// NewTLPR returns a TLP_R partitioner with ratio r in [0, 1].
+func NewTLPR(r float64, opts Options) (*TLPR, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return nil, fmt.Errorf("core: TLP_R ratio %v outside [0,1]", r)
+	}
+	return &TLPR{r: r, opts: opts}, nil
+}
+
+// MustNewTLPR is NewTLPR that panics on error; for tests and examples.
+func MustNewTLPR(r float64, opts Options) *TLPR {
+	t, err := NewTLPR(r, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements partition.Partitioner.
+func (t *TLPR) Name() string { return fmt.Sprintf("TLP_R(%.1f)", t.r) }
+
+// R returns the stage-division ratio.
+func (t *TLPR) R() float64 { return t.r }
+
+// Partition assigns every edge of g to one of p partitions.
+func (t *TLPR) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	a, _, err := t.PartitionStats(g, p)
+	return a, err
+}
+
+// PartitionStats is Partition with run statistics.
+func (t *TLPR) PartitionStats(g *graph.Graph, p int) (*partition.Assignment, Stats, error) {
+	r := t.r
+	return runLocal(g, p, t.opts, func(ein, _ int64, capC int) bool {
+		// Table V: Stage I while |E(P_k)| <= R*C. R=0 means Stage II
+		// everywhere, including the empty partition.
+		return r > 0 && float64(ein) <= r*float64(capC)
+	})
+}
+
+// stagePolicy decides whether the next selection uses Stage I, given the
+// partition's internal edges, external edges and capacity.
+type stagePolicy func(ein, eout int64, capC int) bool
+
+// runLocal executes the local partitioning loop shared by TLP and TLP_R.
+func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*partition.Assignment, Stats, error) {
+	var stats Stats
+	if g == nil {
+		return nil, stats, fmt.Errorf("core: nil graph")
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, stats, err
+	}
+	m := g.NumEdges()
+	if m == 0 {
+		return a, stats, nil
+	}
+	capC := int(math.Ceil(opts.capacitySlack() * float64(m) / float64(p)))
+	if capC < 1 {
+		capC = 1
+	}
+	st := newRunState(g, a, opts)
+	assigned := 0
+	for k := 0; k < p && assigned < m; k++ {
+		stats.Rounds++
+		st.beginRound()
+		seed, ok := st.pickSeed()
+		if !ok {
+			break
+		}
+		n, full := st.absorb(seed, k, capC)
+		assigned += n
+		if !full {
+			stats.PartialAbsorptions++
+			continue
+		}
+		for int(st.ein) < capC && assigned < m {
+			if st.eout == 0 {
+				// Frontier exhausted (component consumed).
+				if opts.LiteralBreak {
+					break
+				}
+				reseed, ok := st.pickSeed()
+				if !ok {
+					break
+				}
+				stats.Reseeds++
+				n, full := st.absorb(reseed, k, capC)
+				assigned += n
+				if !full {
+					stats.PartialAbsorptions++
+					break
+				}
+				continue
+			}
+			var v graph.Vertex
+			var okSel bool
+			stage1 := isStage1(st.ein, st.eout, capC)
+			if stage1 {
+				v, okSel = st.selectStage1()
+			} else {
+				v, okSel = st.selectStage2()
+			}
+			if !okSel {
+				// Should not happen while eout > 0; treat as
+				// exhaustion for robustness.
+				if opts.LiteralBreak {
+					break
+				}
+				reseed, ok := st.pickSeed()
+				if !ok {
+					break
+				}
+				stats.Reseeds++
+				n, full := st.absorb(reseed, k, capC)
+				assigned += n
+				if !full {
+					stats.PartialAbsorptions++
+					break
+				}
+				continue
+			}
+			deg := int64(g.Degree(v))
+			if stage1 {
+				stats.Stage1Selections++
+				stats.Stage1DegreeSum += deg
+			} else {
+				stats.Stage2Selections++
+				stats.Stage2DegreeSum += deg
+			}
+			n, full := st.absorb(v, k, capC)
+			assigned += n
+			if !full {
+				stats.PartialAbsorptions++
+				break
+			}
+		}
+	}
+	// Balance sweep: any leftover edges (LiteralBreak mode, or capacity
+	// rounding) go to the least-loaded partitions.
+	if assigned < m {
+		sweepLeftovers(g, a, &stats)
+	}
+	return a, stats, nil
+}
+
+// absorb makes v a member of partition k: every alive edge between v and an
+// existing member is assigned to k (up to the capacity), and v's remaining
+// alive edges extend the frontier. It returns the number of edges assigned
+// and whether the absorption completed (false means the capacity was hit
+// mid-vertex; the round must end and v is NOT recorded as a member, so its
+// remaining member edges stay alive for later rounds).
+func (st *runState) absorb(v graph.Vertex, k, capC int) (assigned int, full bool) {
+	g := st.g
+	nbrs := g.Neighbors(v)
+	eids := g.IncidentEdges(v)
+	partial := false
+	for i, u := range nbrs {
+		eid := eids[i]
+		if st.a.IsAssigned(eid) || !st.isMember(u) {
+			continue
+		}
+		if int(st.ein) >= capC {
+			partial = true
+			break
+		}
+		st.a.Assign(eid, k)
+		st.ein++
+		st.eout--
+		st.aliveDeg[v]--
+		st.aliveDeg[u]--
+		assigned++
+	}
+	if partial {
+		return assigned, false
+	}
+	st.memberEpoch[v] = st.round
+	for i, u := range nbrs {
+		if st.a.IsAssigned(eids[i]) || st.isMember(u) {
+			continue
+		}
+		st.eout++
+		st.touchFrontier(u)
+	}
+	st.updateStage1Scores(v)
+	return assigned, true
+}
+
+// sweepLeftovers assigns every remaining edge to the least-loaded partition;
+// loads stay within C because total capacity covers the graph.
+func sweepLeftovers(g *graph.Graph, a *partition.Assignment, stats *Stats) {
+	for id := 0; id < g.NumEdges(); id++ {
+		eid := graph.EdgeID(id)
+		if a.IsAssigned(eid) {
+			continue
+		}
+		best := 0
+		for k := 1; k < a.P(); k++ {
+			if a.Load(k) < a.Load(best) {
+				best = k
+			}
+		}
+		a.Assign(eid, best)
+		stats.SweptEdges++
+	}
+}

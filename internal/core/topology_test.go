@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// Adversarial topologies: TLP must stay correct (complete, capacity-bounded)
+// and sane on structures with no community signal at all.
+
+func validTLP(t *testing.T, g *graph.Graph, p int) float64 {
+	t.Helper()
+	a, err := MustNew(Options{Seed: 7}).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{}); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	rf, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rf
+}
+
+func TestTLPOnStar(t *testing.T) {
+	// Star: every edge shares the hub, so RF is dictated by the hub being
+	// replicated in every partition: RF = (p + leaves)/(n).
+	const leaves = 60
+	b := graph.NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		_ = b.AddEdge(0, graph.Vertex(i))
+	}
+	g := b.Build()
+	p := 4
+	rf := validTLP(t, g, p)
+	want := float64(p+leaves) / float64(leaves+1)
+	if rf > want+1e-9 {
+		t.Fatalf("star RF %.4f above the structural optimum %.4f", rf, want)
+	}
+}
+
+func TestTLPOnRing(t *testing.T) {
+	// Ring: optimal partitioning cuts exactly p vertices -> RF = (n+p)/n.
+	const n = 120
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%n))
+	}
+	g := b.Build()
+	p := 4
+	rf := validTLP(t, g, p)
+	optimal := float64(n+p) / float64(n)
+	// Local growth on a ring is contiguous; allow a modest excess for the
+	// random seeds landing inside earlier arcs.
+	if rf > optimal*1.15 {
+		t.Fatalf("ring RF %.4f too far above optimal %.4f", rf, optimal)
+	}
+}
+
+func TestTLPOnCompleteGraph(t *testing.T) {
+	// K_n has no structure to exploit; everything is correct but RF is
+	// necessarily high. Just verify validity and the RF upper bound p.
+	const n = 40
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	g := b.Build()
+	rf := validTLP(t, g, 5)
+	if rf > 5 {
+		t.Fatalf("K40 RF %.3f above p", rf)
+	}
+}
+
+func TestTLPOnCompleteBipartite(t *testing.T) {
+	// K_{a,b}: hubs on both sides; checks stage II's cin/cout arithmetic
+	// under symmetric high multiplicity.
+	const a, bb = 15, 25
+	bld := graph.NewBuilder(a + bb)
+	for i := 0; i < a; i++ {
+		for j := 0; j < bb; j++ {
+			_ = bld.AddEdge(graph.Vertex(i), graph.Vertex(a+j))
+		}
+	}
+	g := bld.Build()
+	rf := validTLP(t, g, 5)
+	if rf < 1 || rf > 5 {
+		t.Fatalf("K_{15,25} RF %.3f out of range", rf)
+	}
+}
+
+func TestTLPOnGrid(t *testing.T) {
+	// 2D grid: planar, uniform degree; local growth should produce compact
+	// tiles with RF well under what random assignment gives (~3.5).
+	const side = 24
+	b := graph.NewBuilder(side * side)
+	id := func(r, c int) graph.Vertex { return graph.Vertex(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				_ = b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				_ = b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g := b.Build()
+	rf := validTLP(t, g, 6)
+	if rf > 1.6 {
+		t.Fatalf("grid RF %.3f; compact tiles should stay below ~1.6", rf)
+	}
+}
+
+func TestTLPOnMatchingEdges(t *testing.T) {
+	// Perfect matching: m disjoint edges; any balanced assignment has
+	// RF = 1 exactly.
+	const pairs = 50
+	b := graph.NewBuilder(2 * pairs)
+	for i := 0; i < pairs; i++ {
+		_ = b.AddEdge(graph.Vertex(2*i), graph.Vertex(2*i+1))
+	}
+	g := b.Build()
+	rf := validTLP(t, g, 5)
+	if rf != 1 {
+		t.Fatalf("matching RF %.4f, want exactly 1", rf)
+	}
+}
+
+func TestTLPMorePartitionsThanEdges(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	a, err := MustNew(Options{Seed: 1}).Partition(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLPSelfConsistencyAcrossP(t *testing.T) {
+	// RF must be non-decreasing in p on a fixed graph (more partitions
+	// can only fragment more) — up to seed noise, so compare p=2 vs p=16.
+	g := randomGraph(77, 400, 1200)
+	rf2 := validTLP(t, g, 2)
+	rf16 := validTLP(t, g, 16)
+	if rf16 < rf2 {
+		t.Fatalf("RF decreased with more partitions: p=2 %.3f vs p=16 %.3f", rf2, rf16)
+	}
+}

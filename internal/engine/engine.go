@@ -1,0 +1,297 @@
+// Package engine is a PowerGraph-style gather-apply-scatter (GAS) execution
+// engine running on an edge-partitioned graph — the distributed-computation
+// substrate that motivates the paper's problem: every spanned vertex has one
+// master replica and mirrors in every other partition whose edge set touches
+// it, and each superstep synchronises gather results from mirrors to the
+// master and the applied value back from the master to the mirrors. The
+// engine counts those synchronisation messages, making the cost of a high
+// replication factor directly observable: messages per superstep =
+// 2 * (total replicas - active vertices).
+//
+// Partitions execute as goroutines ("machines") with channel-based message
+// exchange, so the simulation exercises real concurrency, not just a loop.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// Program is a vertex program in the gather-sum-apply-scatter model.
+// Values are float64; programs needing richer state encode it.
+type Program interface {
+	// Name identifies the program.
+	Name() string
+	// Init returns vertex v's value before the first superstep.
+	Init(v graph.Vertex, degree int) float64
+	// Gather produces the contribution of edge (v, u) to v's
+	// accumulator, given u's current value and degree.
+	Gather(v, u graph.Vertex, uValue float64, uDegree int) float64
+	// Sum combines two gather contributions (must be commutative and
+	// associative).
+	Sum(a, b float64) float64
+	// Apply computes v's new value from the gathered total.
+	Apply(v graph.Vertex, old, gathered float64, degree int) float64
+	// Converged reports whether the change from old to new is small
+	// enough to deactivate the vertex this round.
+	Converged(old, new float64) bool
+}
+
+// Stats aggregates what the engine did during Run.
+type Stats struct {
+	// Supersteps executed (may be fewer than requested on convergence).
+	Supersteps int
+	// GatherMessages counts mirror->master accumulator messages.
+	GatherMessages int64
+	// ApplyMessages counts master->mirror value broadcasts.
+	ApplyMessages int64
+	// TotalReplicas is the number of (vertex, partition) placements.
+	TotalReplicas int
+	// Masters is the number of vertices with at least one edge.
+	Masters int
+}
+
+// Messages returns total synchronisation traffic.
+func (s Stats) Messages() int64 { return s.GatherMessages + s.ApplyMessages }
+
+// Engine executes vertex programs over one partitioned graph.
+type Engine struct {
+	g *graph.Graph
+	p int
+	// vertsOf[k] lists the vertices with >= 1 edge in partition k.
+	vertsOf [][]graph.Vertex
+	// masterOf[v] is the partition owning v's master replica (the
+	// partition with the most incident edges, ties to the lowest id),
+	// or -1 for isolated vertices.
+	masterOf []int32
+	// adjOf[k][i] lists, for vertex vertsOf[k][i], the edges of partition
+	// k incident to it (as the neighbour vertex).
+	adjOf [][][]graph.Vertex
+	// replicaCount[v] is the number of partitions holding v.
+	replicaCount []int16
+	stats        Stats
+}
+
+// New builds an engine from a complete edge partitioning of g.
+func New(g *graph.Graph, a *partition.Assignment) (*Engine, error) {
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1e9}); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	p := a.P()
+	e := &Engine{
+		g:        g,
+		p:        p,
+		vertsOf:  make([][]graph.Vertex, p),
+		masterOf: make([]int32, g.NumVertices()),
+		adjOf:    make([][][]graph.Vertex, p),
+	}
+	n := g.NumVertices()
+	// Count per-partition incidence to pick masters.
+	inc := make([][]int32, p)
+	for k := range inc {
+		inc[k] = make([]int32, n)
+	}
+	for id, ed := range g.Edges() {
+		k, _ := a.PartitionOf(graph.EdgeID(id))
+		inc[k][ed.U]++
+		inc[k][ed.V]++
+	}
+	for v := 0; v < n; v++ {
+		best, bestInc := int32(-1), int32(0)
+		for k := 0; k < p; k++ {
+			if inc[k][v] > bestInc {
+				best, bestInc = int32(k), inc[k][v]
+			}
+		}
+		e.masterOf[v] = best
+	}
+	// Per-partition local structures.
+	idxOf := make([]int32, n)
+	for k := 0; k < p; k++ {
+		for v := 0; v < n; v++ {
+			idxOf[v] = -1
+		}
+		var verts []graph.Vertex
+		var adj [][]graph.Vertex
+		for id, ed := range g.Edges() {
+			kk, _ := a.PartitionOf(graph.EdgeID(id))
+			if kk != k {
+				continue
+			}
+			for _, end := range []graph.Vertex{ed.U, ed.V} {
+				if idxOf[end] == -1 {
+					idxOf[end] = int32(len(verts))
+					verts = append(verts, end)
+					adj = append(adj, nil)
+				}
+			}
+			adj[idxOf[ed.U]] = append(adj[idxOf[ed.U]], ed.V)
+			adj[idxOf[ed.V]] = append(adj[idxOf[ed.V]], ed.U)
+			e.stats.TotalReplicas += 0 // counted below
+		}
+		e.vertsOf[k] = verts
+		e.adjOf[k] = adj
+	}
+	e.replicaCount = make([]int16, n)
+	for k := 0; k < p; k++ {
+		e.stats.TotalReplicas += len(e.vertsOf[k])
+		for _, u := range e.vertsOf[k] {
+			e.replicaCount[u]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if e.masterOf[v] >= 0 {
+			e.stats.Masters++
+		}
+	}
+	return e, nil
+}
+
+// ReplicationFactor returns total replicas over active vertices — the
+// engine-visible RF (isolated vertices excluded, unlike the paper's
+// Definition 4 which divides by |V|).
+func (e *Engine) ReplicationFactor() float64 {
+	if e.stats.Masters == 0 {
+		return 0
+	}
+	return float64(e.stats.TotalReplicas) / float64(e.stats.Masters)
+}
+
+// Run executes prog for at most maxSupersteps, returning the final vertex
+// values and execution stats. Vertices all start active; a vertex
+// deactivates when Converged, and reactivates if any neighbour changed in
+// the previous superstep. Run stops early when every vertex is inactive.
+func (e *Engine) Run(prog Program, maxSupersteps int) ([]float64, Stats, error) {
+	if prog == nil {
+		return nil, Stats{}, fmt.Errorf("engine: nil program")
+	}
+	if maxSupersteps < 1 {
+		return nil, Stats{}, fmt.Errorf("engine: need at least one superstep")
+	}
+	n := e.g.NumVertices()
+	values := make([]float64, n)
+	degree := make([]int, n)
+	for v := 0; v < n; v++ {
+		degree[v] = e.g.Degree(graph.Vertex(v))
+		values[v] = prog.Init(graph.Vertex(v), degree[v])
+	}
+	stats := e.stats
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = degree[v] > 0
+	}
+	type partial struct {
+		v   graph.Vertex
+		sum float64
+		set bool
+	}
+	// Reused per superstep: per-partition gather outputs.
+	partials := make([][]partial, e.p)
+	for step := 0; step < maxSupersteps; step++ {
+		anyActive := false
+		for v := 0; v < n; v++ {
+			if active[v] {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+		stats.Supersteps++
+		// GATHER phase: every partition computes local partial sums for
+		// its replicas, concurrently (one goroutine per "machine").
+		var wg sync.WaitGroup
+		for k := 0; k < e.p; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				verts := e.vertsOf[k]
+				out := partials[k][:0]
+				if cap(partials[k]) < len(verts) {
+					out = make([]partial, 0, len(verts))
+				}
+				for i, v := range verts {
+					if !active[v] {
+						continue
+					}
+					var sum float64
+					set := false
+					for _, u := range e.adjOf[k][i] {
+						c := prog.Gather(v, u, values[u], degree[u])
+						if !set {
+							sum, set = c, true
+						} else {
+							sum = prog.Sum(sum, c)
+						}
+					}
+					if set {
+						out = append(out, partial{v: v, sum: sum, set: true})
+					}
+				}
+				partials[k] = out
+			}(k)
+		}
+		wg.Wait()
+		// Mirror -> master accumulation. Each partial computed on a
+		// non-master replica is one gather message.
+		gathered := make(map[graph.Vertex]float64, n/4)
+		for k := 0; k < e.p; k++ {
+			for _, pt := range partials[k] {
+				if int32(k) != e.masterOf[pt.v] {
+					stats.GatherMessages++
+				}
+				if prev, ok := gathered[pt.v]; ok {
+					gathered[pt.v] = prog.Sum(prev, pt.sum)
+				} else {
+					gathered[pt.v] = pt.sum
+				}
+			}
+		}
+		// APPLY phase at masters; then master -> mirror broadcast, one
+		// message per mirror of a changed vertex.
+		changed := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			gv, ok := gathered[graph.Vertex(v)]
+			if !ok {
+				gv = 0
+			}
+			nv := prog.Apply(graph.Vertex(v), values[v], gv, degree[v])
+			if prog.Converged(values[v], nv) {
+				active[v] = false
+			} else {
+				changed[v] = true
+			}
+			if nv != values[v] {
+				// Broadcast to mirrors: replicas - 1 messages.
+				stats.ApplyMessages += int64(e.replicasOf(graph.Vertex(v)) - 1)
+			}
+			values[v] = nv
+		}
+		// SCATTER/activation: neighbours of changed vertices reactivate.
+		for v := 0; v < n; v++ {
+			if !changed[v] {
+				continue
+			}
+			for _, u := range e.g.Neighbors(graph.Vertex(v)) {
+				active[u] = true
+			}
+		}
+	}
+	return values, stats, nil
+}
+
+// replicasOf counts the partitions holding vertex v (1 minimum so isolated
+// vertices never produce negative message counts).
+func (e *Engine) replicasOf(v graph.Vertex) int {
+	if c := int(e.replicaCount[v]); c > 0 {
+		return c
+	}
+	return 1
+}

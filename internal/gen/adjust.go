@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// edgeAccum wraps a graph.Builder with a distinct-edge set so generators can
+// count realised (deduplicated) edges while generating.
+type edgeAccum struct {
+	b    *graph.Builder
+	seen map[uint64]struct{}
+}
+
+func newEdgeAccum(numVertices int) *edgeAccum {
+	return &edgeAccum{
+		b:    graph.NewBuilder(numVertices),
+		seen: make(map[uint64]struct{}),
+	}
+}
+
+func edgeKey(u, v graph.Vertex) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// add records the edge and reports whether it was new (not a duplicate or
+// self-loop).
+func (a *edgeAccum) add(u, v graph.Vertex) bool {
+	if u == v {
+		return false
+	}
+	key := edgeKey(u, v)
+	if _, dup := a.seen[key]; dup {
+		return false
+	}
+	if err := a.b.AddEdge(u, v); err != nil {
+		return false
+	}
+	a.seen[key] = struct{}{}
+	return true
+}
+
+func (a *edgeAccum) count() int { return len(a.seen) }
+
+func (a *edgeAccum) build() *graph.Graph { return a.b.Build() }
+
+// AdjustEdgeCount returns a graph with exactly target edges, derived from g:
+// if g has too many edges, a uniform random subset is dropped; if too few,
+// random edges between existing vertices are added (biased toward higher-
+// degree vertices to minimally perturb the degree distribution). Returns g
+// unchanged when the count already matches or the target is infeasible.
+func AdjustEdgeCount(g *graph.Graph, target int, r *rng.RNG) *graph.Graph {
+	m := g.NumEdges()
+	n := g.NumVertices()
+	if m == target || n < 2 {
+		return g
+	}
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(target) > maxEdges || target < 0 {
+		return g
+	}
+	if m > target {
+		// Drop a random subset: keep `target` edges chosen uniformly.
+		keep := r.Perm(m)[:target]
+		b := graph.NewBuilder(n)
+		for _, id := range keep {
+			e := g.Edge(graph.EdgeID(id))
+			_ = b.AddEdge(e.U, e.V)
+		}
+		return b.Build()
+	}
+	// Top up: sample endpoints degree-proportionally (plus one smoothing so
+	// isolated vertices remain reachable).
+	acc := newEdgeAccum(n)
+	for _, e := range g.Edges() {
+		acc.add(e.U, e.V)
+	}
+	// Endpoint pool: each vertex appears deg(v)+1 times.
+	pool := make([]graph.Vertex, 0, 2*m+n)
+	for v := 0; v < n; v++ {
+		reps := g.Degree(graph.Vertex(v)) + 1
+		for i := 0; i < reps; i++ {
+			pool = append(pool, graph.Vertex(v))
+		}
+	}
+	guard := 0
+	for acc.count() < target && guard < 100*(target-m)+10000 {
+		guard++
+		u := pool[r.Intn(len(pool))]
+		v := pool[r.Intn(len(pool))]
+		acc.add(u, v)
+	}
+	return acc.build()
+}

@@ -1,0 +1,128 @@
+// Package gen provides seeded synthetic graph generators and the dataset
+// registry that stands in for the paper's evaluation datasets (Table III).
+//
+// The environment is offline, so the eight SNAP graphs and the proprietary
+// huapu genealogy graph are replaced by generators from the matching
+// structural family (power-law social networks, clique-overlap collaboration
+// networks, dense community graphs, genealogy forests). Every generator is
+// deterministic for a fixed seed, and the registry post-adjusts edge counts
+// to land exactly on the target |E| so that capacities C = |E|/p match the
+// paper's setup.
+package gen
+
+import (
+	"math"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// ChungLuConfig parameterises a Chung-Lu random graph with a power-law
+// expected degree sequence.
+type ChungLuConfig struct {
+	// Vertices is the number of vertices n.
+	Vertices int
+	// TargetEdges is the desired number of edges m; the expected degree
+	// sequence is scaled so the expected edge count matches, and the
+	// registry's exact-count adjustment lands on it precisely.
+	TargetEdges int
+	// Exponent is the power-law exponent gamma of the degree
+	// distribution (typically 2.0-2.5 for social networks). Larger
+	// exponents give lighter tails.
+	Exponent float64
+	// MaxDegreeCap bounds the largest expected degree; zero means an
+	// automatic cap of sqrt(2m) (the Chung-Lu validity threshold, above
+	// which edge probabilities clip at 1 and the realised distribution
+	// distorts).
+	MaxDegreeCap float64
+}
+
+// ChungLu generates a power-law random graph with the fast (Miller-Hagberg)
+// O(n+m) skipping algorithm. The realised edge count is random around
+// TargetEdges; use AdjustEdgeCount for an exact count.
+func ChungLu(cfg ChungLuConfig, r *rng.RNG) *graph.Graph {
+	n := cfg.Vertices
+	if n < 2 || cfg.TargetEdges <= 0 {
+		return graph.NewBuilder(maxInt(n, 0)).Build()
+	}
+	w := powerLawWeights(n, cfg.TargetEdges, cfg.Exponent, cfg.MaxDegreeCap)
+	// Weights are descending by construction (index 0 heaviest).
+	s := 0.0
+	for _, wi := range w {
+		s += wi
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < n-1; u++ {
+		v := u + 1
+		p := math.Min(1, w[u]*w[v]/s)
+		for v < n && p > 0 {
+			if p < 1 {
+				// Geometric skip over vertices rejected at rate p.
+				skip := int(math.Log(1-r.Float64()) / math.Log(1-p))
+				v += skip
+			}
+			if v >= n {
+				break
+			}
+			q := math.Min(1, w[u]*w[v]/s)
+			if r.Float64() < q/p {
+				_ = b.AddEdge(graph.Vertex(u), graph.Vertex(v))
+			}
+			p = q
+			v++
+		}
+	}
+	return b.Build()
+}
+
+// powerLawWeights returns n expected degrees following w_i ~ (i+i0)^-alpha
+// with alpha = 1/(gamma-1), scaled so the sum is 2*targetEdges, sorted
+// descending, and capped so max weight <= cap (default sqrt(2m)).
+func powerLawWeights(n, targetEdges int, gamma, cap float64) []float64 {
+	if gamma <= 1 {
+		gamma = 2.0
+	}
+	alpha := 1 / (gamma - 1)
+	if cap <= 0 {
+		cap = math.Sqrt(2 * float64(targetEdges))
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+		sum += w[i]
+	}
+	scale := 2 * float64(targetEdges) / sum
+	// Scale, cap, then rescale the uncapped tail so the sum stays 2m.
+	capped := 0.0
+	cappedCount := 0
+	for i := range w {
+		w[i] *= scale
+		if w[i] > cap {
+			w[i] = cap
+			capped += cap
+			cappedCount++
+		}
+	}
+	if cappedCount > 0 && cappedCount < n {
+		rest := 0.0
+		for _, wi := range w[cappedCount:] {
+			rest += wi
+		}
+		want := 2*float64(targetEdges) - capped
+		if rest > 0 && want > 0 {
+			f := want / rest
+			for i := cappedCount; i < n; i++ {
+				w[i] = math.Min(cap, w[i]*f)
+			}
+		}
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

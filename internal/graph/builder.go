@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// The builder normalises input into a simple undirected graph: self-loops
+// are dropped (or rejected in strict mode) and duplicate edges — in either
+// orientation — are collapsed to one. Vertex ids must be non-negative;
+// the vertex count can either be fixed up front or grown automatically to
+// max-id+1. Builder is not safe for concurrent use.
+type Builder struct {
+	numVertices int
+	fixedSize   bool
+	edges       []Edge
+}
+
+// NewBuilder returns a builder for a graph with exactly numVertices
+// vertices. Edges referencing vertices outside [0, numVertices) are
+// rejected.
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{numVertices: numVertices, fixedSize: true}
+}
+
+// NewGrowingBuilder returns a builder whose vertex count grows to cover the
+// largest vertex id seen. Useful when reading edge lists whose vertex count
+// is not known in advance.
+func NewGrowingBuilder() *Builder {
+	return &Builder{}
+}
+
+// NumVertices returns the current vertex count.
+func (b *Builder) NumVertices() int { return b.numVertices }
+
+// NumEdgesAdded returns the number of edges accepted so far, before
+// deduplication.
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// AddEdge records an undirected edge between u and v. Self-loops are
+// silently dropped; duplicates are collapsed at Build time. It returns an
+// error only when an endpoint is out of range.
+func (b *Builder) AddEdge(u, v Vertex) error {
+	if u == v {
+		return nil
+	}
+	return b.add(u, v)
+}
+
+// AddEdgeStrict is AddEdge but reports self-loops as errors rather than
+// dropping them. Duplicates are still detected at Build time via
+// BuildStrict.
+func (b *Builder) AddEdgeStrict(u, v Vertex) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	return b.add(u, v)
+}
+
+func (b *Builder) add(u, v Vertex) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative vertex id in edge (%d, %d)", u, v)
+	}
+	if b.fixedSize {
+		if int(u) >= b.numVertices || int(v) >= b.numVertices {
+			return fmt.Errorf("graph: edge (%d, %d) out of range for %d vertices", u, v, b.numVertices)
+		}
+	} else {
+		if int(u) >= b.numVertices {
+			b.numVertices = int(u) + 1
+		}
+		if int(v) >= b.numVertices {
+			b.numVertices = int(v) + 1
+		}
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v})
+	return nil
+}
+
+// Build deduplicates the accumulated edges and returns the immutable graph.
+// The builder can keep accepting edges afterwards; a later Build returns a
+// new graph including them.
+func (b *Builder) Build() *Graph {
+	deduped := dedupe(append([]Edge(nil), b.edges...))
+	return build(b.numVertices, deduped)
+}
+
+// BuildStrict is Build but returns an error if any duplicate edge was added.
+func (b *Builder) BuildStrict() (*Graph, error) {
+	edges := append([]Edge(nil), b.edges...)
+	sortEdges(edges)
+	for i := 1; i < len(edges); i++ {
+		if edges[i] == edges[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge (%d, %d)", edges[i].U, edges[i].V)
+		}
+	}
+	return build(b.numVertices, edges), nil
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}
+
+// dedupe sorts canonical edges and removes duplicates in place.
+func dedupe(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return edges
+	}
+	sortEdges(edges)
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary bytes to the edge-list parser and checks
+// the structural invariants of any graph it accepts. Run with
+// `go test -fuzz FuzzReadEdgeList ./internal/graph` for exploration; the
+// seed corpus runs as a normal test.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n% other comment\n\n5 5\n1 2 weight\n"))
+	f.Add([]byte("999999999999999999999 1\n"))
+	f.Add([]byte("1 2\n2 1\n1 2\n"))
+	f.Add([]byte("-3 4\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, idm, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		if g.NumVertices() != idm.Len() {
+			t.Fatalf("graph has %d vertices, idmap %d", g.NumVertices(), idm.Len())
+		}
+		degSum := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := Vertex(v)
+			degSum += g.Degree(vv)
+			for _, u := range g.Neighbors(vv) {
+				if u == vv {
+					t.Fatal("self-loop survived parsing")
+				}
+				if !g.HasEdge(u, vv) {
+					t.Fatal("asymmetric adjacency")
+				}
+			}
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m=%d", degSum, 2*g.NumEdges())
+		}
+		// Round-trip: writing and re-reading preserves the size.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected own output: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip: %d -> %d edges", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzBuilder stresses the builder with arbitrary edge pairs.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint16(5), int64(0x0102030405060708))
+	f.Fuzz(func(t *testing.T, nRaw uint16, bits int64) {
+		n := int(nRaw%100) + 1
+		b := NewBuilder(n)
+		x := uint64(bits)
+		for i := 0; i < 20; i++ {
+			u := Vertex(int(x % uint64(n)))
+			x /= uint64(n)
+			if x == 0 {
+				x = uint64(bits)*2 + 1
+			}
+			v := Vertex(int(x % uint64(n)))
+			x /= 7
+			if x == 0 {
+				x = uint64(bits) + 3
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatalf("in-range edge rejected: %v", err)
+			}
+		}
+		g := b.Build()
+		for v := 0; v < g.NumVertices(); v++ {
+			nbrs := g.Neighbors(Vertex(v))
+			for i := 1; i < len(nbrs); i++ {
+				if nbrs[i] <= nbrs[i-1] {
+					t.Fatal("neighbours not strictly sorted (dupes?)")
+				}
+			}
+		}
+	})
+}

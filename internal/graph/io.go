@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list from r into a graph.
+//
+// The format is the SNAP convention: one "u v" pair per line, lines starting
+// with '#' or '%' are comments, blank lines are ignored, extra columns
+// (weights, timestamps) are ignored. Vertex ids may be arbitrary
+// non-negative integers; they are remapped to a dense [0, n) range in first-
+// appearance order, and the mapping is returned so callers can translate
+// results back to the original ids. Self-loops are dropped and duplicate
+// edges collapsed, mirroring how the paper's datasets are usually cleaned
+// into simple undirected graphs.
+func ReadEdgeList(r io.Reader) (*Graph, *IDMap, error) {
+	b := NewGrowingBuilder()
+	idm := &IDMap{dense: map[int64]Vertex{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected at least two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		du := idm.intern(u)
+		dv := idm.intern(v)
+		if err := b.AddEdge(du, dv); err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), idm, nil
+}
+
+// WriteEdgeList writes g to w in the same "u v" per line format, using dense
+// vertex ids, preceded by a comment header with the graph size.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected simple graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("graph: writing edge: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing edge list: %w", err)
+	}
+	return nil
+}
+
+// LoadEdgeListFile reads an edge list from path. Files ending in ".gz" are
+// transparently gunzipped.
+func LoadEdgeListFile(path string) (*Graph, *IDMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: opening %s: %w", path, err)
+	}
+	defer func() { _ = f.Close() }()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: gunzipping %s: %w", path, err)
+		}
+		defer func() { _ = gz.Close() }()
+		r = gz
+	}
+	g, idm, err := ReadEdgeList(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: parsing %s: %w", path, err)
+	}
+	return g, idm, nil
+}
+
+// SaveEdgeListFile writes g to path as an edge list; ".gz" paths are
+// gzip-compressed.
+func SaveEdgeListFile(path string, g *Graph) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("graph: closing %s: %w", path, cerr)
+		}
+	}()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteEdgeList(w, g); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("graph: finishing gzip %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// IDMap records the mapping between original (external) vertex ids and the
+// dense internal ids assigned during parsing.
+type IDMap struct {
+	dense    map[int64]Vertex
+	original []int64
+}
+
+func (m *IDMap) intern(orig int64) Vertex {
+	if d, ok := m.dense[orig]; ok {
+		return d
+	}
+	d := Vertex(len(m.original))
+	m.dense[orig] = d
+	m.original = append(m.original, orig)
+	return d
+}
+
+// Len returns the number of distinct original ids seen.
+func (m *IDMap) Len() int { return len(m.original) }
+
+// Dense returns the dense id for an original id.
+func (m *IDMap) Dense(orig int64) (Vertex, bool) {
+	d, ok := m.dense[orig]
+	return d, ok
+}
+
+// Original returns the original id for a dense id.
+func (m *IDMap) Original(d Vertex) int64 { return m.original[d] }
+
+// Identity returns an IDMap mapping i -> i for n vertices; used when graphs
+// are generated rather than parsed.
+func Identity(n int) *IDMap {
+	m := &IDMap{dense: make(map[int64]Vertex, n), original: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		m.dense[int64(i)] = Vertex(i)
+		m.original[i] = int64(i)
+	}
+	return m
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment style
+0 1
+1 2
+
+2 0 999 extra-columns-ignored
+`
+	g, idm, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d, want 3,3", g.NumVertices(), g.NumEdges())
+	}
+	if idm.Len() != 3 {
+		t.Fatalf("idmap has %d entries", idm.Len())
+	}
+}
+
+func TestReadEdgeListRemapsSparseIDs(t *testing.T) {
+	in := "1000000 2000000\n2000000 3000000\n"
+	g, idm, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("sparse ids not remapped: %d vertices", g.NumVertices())
+	}
+	d, ok := idm.Dense(1000000)
+	if !ok {
+		t.Fatal("lost original id 1000000")
+	}
+	if idm.Original(d) != 1000000 {
+		t.Fatal("round-trip through IDMap failed")
+	}
+	if _, ok := idm.Dense(42); ok {
+		t.Fatal("IDMap invented an id")
+	}
+}
+
+func TestReadEdgeListDedupes(t *testing.T) {
+	in := "0 1\n1 0\n0 1\n5 5\n"
+	g, _, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("got %d edges, want 1 (dupes and self-loops dropped)", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",     // too few fields
+		"a b\n",   // non-numeric
+		"0 xyz\n", // non-numeric second
+		"-1 2\n",  // negative
+		"3 -7\n",  // negative second
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted, want error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: V %d->%d E %d->%d",
+			g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	for _, name := range []string{"g.txt", "g.txt.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveEdgeListFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, _, err := LoadEdgeListFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: edges %d != %d", name, g2.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, _, err := LoadEdgeListFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}
+
+func TestIdentityIDMap(t *testing.T) {
+	m := Identity(4)
+	if m.Len() != 4 {
+		t.Fatalf("Identity(4).Len() = %d", m.Len())
+	}
+	for i := 0; i < 4; i++ {
+		d, ok := m.Dense(int64(i))
+		if !ok || d != Vertex(i) || m.Original(d) != int64(i) {
+			t.Fatalf("identity map broken at %d", i)
+		}
+	}
+}

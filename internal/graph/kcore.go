@@ -1,0 +1,131 @@
+package graph
+
+// CoreNumbers computes the k-core decomposition: core[v] is the largest k
+// such that v belongs to a subgraph where every vertex has degree >= k.
+// Runs in O(n + m) via the bucket-based peeling algorithm of Batagelj and
+// Zaveršnik. Used for structural statistics and hub analysis of the
+// synthetic datasets.
+func CoreNumbers(g *Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(Vertex(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int32, n)   // position of vertex in vert
+	vert := make([]Vertex, n) // vertices sorted by current degree
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		d := deg[v]
+		pos[v] = cursor[d]
+		vert[pos[v]] = Vertex(v)
+		cursor[d]++
+	}
+	// binStart[d] must point at the first vertex with degree >= d during
+	// peeling; recompute from the prefix sums.
+	start := make([]int32, maxDeg+2)
+	copy(start, binStart)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u := range g.Neighbors(v) {
+			if deg[u] > deg[v] {
+				// Move u one bucket down: swap with the first vertex
+				// of its bucket, then shrink the bucket.
+				du := deg[u]
+				pu := pos[u]
+				pw := start[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				start[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the graph's degeneracy: the maximum core number.
+func Degeneracy(g *Graph) int32 {
+	max := int32(0)
+	for _, c := range CoreNumbers(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// DegeneracyOrdering returns the vertices in the peeling order of the
+// k-core decomposition (smallest-degree-first removal); the reverse of this
+// order is the classic greedy colouring / clique-finding order.
+func DegeneracyOrdering(g *Graph) []Vertex {
+	n := g.NumVertices()
+	order := make([]Vertex, 0, n)
+	deg := make([]int32, n)
+	removed := make([]bool, n)
+	// Simple binary-heap-free peeling with bucket queues.
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(Vertex(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]Vertex, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], Vertex(v))
+	}
+	cur := int32(0)
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			// Stale entry: the vertex moved buckets after this entry
+			// was queued, or was already peeled.
+			if !removed[v] && deg[v] < cur {
+				// Can only happen transiently; requeue at its bucket.
+				buckets[deg[v]] = append(buckets[deg[v]], v)
+			}
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] && deg[u] > 0 {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+		}
+	}
+	return order
+}

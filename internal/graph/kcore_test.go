@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+func TestCoreNumbersTriangleWithTail(t *testing.T) {
+	// Triangle {0,1,2} plus tail 2-3-4: cores are 2,2,2,1,1.
+	g := MustFromEdges(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	core := CoreNumbers(g)
+	want := []int32{2, 2, 2, 1, 1}
+	for v, w := range want {
+		if core[v] != w {
+			t.Fatalf("core[%d] = %d, want %d (all: %v)", v, core[v], w, core)
+		}
+	}
+	if Degeneracy(g) != 2 {
+		t.Fatalf("degeneracy %d, want 2", Degeneracy(g))
+	}
+}
+
+func TestCoreNumbersClique(t *testing.T) {
+	g := k4(t)
+	for v, c := range CoreNumbers(g) {
+		if c != 3 {
+			t.Fatalf("K4 core[%d] = %d, want 3", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersPathAndEmpty(t *testing.T) {
+	g := path(t, 5)
+	for v, c := range CoreNumbers(g) {
+		if c != 1 {
+			t.Fatalf("path core[%d] = %d, want 1", v, c)
+		}
+	}
+	if got := CoreNumbers(NewBuilder(0).Build()); len(got) != 0 {
+		t.Fatal("empty graph core numbers nonempty")
+	}
+	for _, c := range CoreNumbers(NewBuilder(3).Build()) {
+		if c != 0 {
+			t.Fatal("isolated vertices should have core 0")
+		}
+	}
+}
+
+// TestCoreNumbersAgainstNaive cross-checks the O(n+m) peeling against a
+// naive iterative-deletion reference on random graphs.
+func TestCoreNumbersAgainstNaive(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		r := rng.New(seed)
+		n := 30 + r.Intn(50)
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			_ = b.AddEdge(Vertex(r.Intn(n)), Vertex(r.Intn(n)))
+		}
+		g := b.Build()
+		fast := CoreNumbers(g)
+		slow := naiveCores(g)
+		for v := 0; v < n; v++ {
+			if fast[v] != slow[v] {
+				t.Fatalf("seed %d vertex %d: fast %d, naive %d", seed, v, fast[v], slow[v])
+			}
+		}
+	}
+}
+
+// naiveCores computes core numbers by repeated peeling at increasing k.
+func naiveCores(g *Graph) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for k := int32(1); ; k++ {
+		for v := 0; v < n; v++ {
+			alive[v] = true
+			deg[v] = g.Degree(Vertex(v))
+		}
+		// Peel everything with degree < k repeatedly.
+		changed := true
+		for changed {
+			changed = false
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] < int(k) {
+					alive[v] = false
+					changed = true
+					for _, u := range g.Neighbors(Vertex(v)) {
+						if alive[u] {
+							deg[u]--
+						}
+					}
+				}
+			}
+		}
+		any := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = k
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestDegeneracyOrderingIsPermutation(t *testing.T) {
+	r := rng.New(9)
+	n := 80
+	b := NewBuilder(n)
+	for i := 0; i < 3*n; i++ {
+		_ = b.AddEdge(Vertex(r.Intn(n)), Vertex(r.Intn(n)))
+	}
+	g := b.Build()
+	order := DegeneracyOrdering(g)
+	if len(order) != n {
+		t.Fatalf("ordering has %d of %d vertices", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDegeneracyOrderingPeelsLeavesFirst(t *testing.T) {
+	// Star: leaves must all precede the hub.
+	b := NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		_ = b.AddEdge(0, Vertex(i))
+	}
+	g := b.Build()
+	order := DegeneracyOrdering(g)
+	// Once only the hub and one leaf remain they tie at degree 1, so the
+	// hub may come second-to-last; it must never appear before then.
+	for i, v := range order[:3] {
+		if v == 0 {
+			t.Fatalf("hub peeled at position %d: %v", i, order)
+		}
+	}
+}

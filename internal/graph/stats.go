@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarises the structure of a graph; used by the dataset registry to
+// report Table III analogues and by tests to sanity-check generators.
+type Stats struct {
+	Vertices   int
+	Edges      int
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	MedDegree  float64
+	Components int
+	// LargestComponentFrac is the fraction of vertices in the largest
+	// connected component.
+	LargestComponentFrac float64
+	// DegreeGini is the Gini coefficient of the degree distribution; a
+	// cheap skewness signal (power-law graphs score high, regular graphs
+	// near zero).
+	DegreeGini float64
+}
+
+// ComputeStats calculates Stats for g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{Vertices: n, Edges: g.NumEdges(), AvgDegree: g.AvgDegree()}
+	if n == 0 {
+		return s
+	}
+	degs := make([]int, n)
+	s.MinDegree = math.MaxInt
+	for v := 0; v < n; v++ {
+		d := g.Degree(Vertex(v))
+		degs[v] = d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	sort.Ints(degs)
+	if n%2 == 1 {
+		s.MedDegree = float64(degs[n/2])
+	} else {
+		s.MedDegree = float64(degs[n/2-1]+degs[n/2]) / 2
+	}
+	s.DegreeGini = gini(degs)
+	labels, count := ConnectedComponents(g)
+	s.Components = count
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, sz := range sizes {
+		if sz > largest {
+			largest = sz
+		}
+	}
+	s.LargestComponentFrac = float64(largest) / float64(n)
+	return s
+}
+
+// gini computes the Gini coefficient of a sorted non-negative sample.
+func gini(sorted []int) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	var sum, weighted float64
+	for i, d := range sorted {
+		sum += float64(d)
+		weighted += float64(i+1) * float64(d)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*sum) / (float64(n) * sum)
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d med=%.1f avg=%.2f max=%d gini=%.2f] comps=%d (largest %.1f%%)",
+		s.Vertices, s.Edges, s.MinDegree, s.MedDegree, s.AvgDegree, s.MaxDegree, s.DegreeGini,
+		s.Components, 100*s.LargestComponentFrac)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(g *Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[g.Degree(Vertex(v))]++
+	}
+	return counts
+}
+
+// TriangleCount returns the exact number of triangles in g using the
+// forward (oriented neighbour intersection) algorithm. Intended for the
+// small graphs in tests; O(m^{3/2}) worst case.
+func TriangleCount(g *Graph) int64 {
+	var count int64
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		uu := Vertex(u)
+		nu := g.Neighbors(uu)
+		for _, v := range nu {
+			if v <= uu {
+				continue
+			}
+			// Intersect higher neighbours of u and v.
+			count += countCommonAbove(nu, g.Neighbors(v), v)
+		}
+	}
+	return count
+}
+
+// countCommonAbove counts values present in both sorted slices that are
+// strictly greater than floor.
+func countCommonAbove(a, b []Vertex, floor Vertex) int64 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] > floor })
+	j := sort.Search(len(b), func(i int) bool { return b[i] > floor })
+	var c int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// GlobalClusteringCoefficient returns 3*triangles / open-and-closed-wedges,
+// or 0 if the graph has no wedges. Exact; use on small/medium graphs.
+func GlobalClusteringCoefficient(g *Graph) float64 {
+	var wedges int64
+	for v := 0; v < g.NumVertices(); v++ {
+		d := int64(g.Degree(Vertex(v)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return 3 * float64(TriangleCount(g)) / float64(wedges)
+}

@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"testing"
+)
+
+// twoTriangles returns two disjoint triangles: {0,1,2} and {3,4,5}.
+func twoTriangles(t *testing.T) *Graph {
+	t.Helper()
+	return MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+}
+
+func TestBFSOrderOnPath(t *testing.T) {
+	g := path(t, 5)
+	order := BFSOrder(g, 0)
+	want := []Vertex{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("BFS order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("BFS order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBFSDepths(t *testing.T) {
+	g := path(t, 4)
+	depths := map[Vertex]int{}
+	BFS(g, 0, func(v Vertex, d int) bool {
+		depths[v] = d
+		return true
+	})
+	for v, want := range map[Vertex]int{0: 0, 1: 1, 2: 2, 3: 3} {
+		if depths[v] != want {
+			t.Fatalf("depth(%d)=%d, want %d", v, depths[v], want)
+		}
+	}
+}
+
+func TestBFSEarlyStop(t *testing.T) {
+	g := path(t, 10)
+	visited := 0
+	BFS(g, 0, func(Vertex, int) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d vertices after early stop, want 3", visited)
+	}
+}
+
+func TestBFSStaysInComponent(t *testing.T) {
+	g := twoTriangles(t)
+	order := BFSOrder(g, 0)
+	if len(order) != 3 {
+		t.Fatalf("BFS crossed components: %v", order)
+	}
+	for _, v := range order {
+		if v > 2 {
+			t.Fatalf("BFS reached other component: %v", order)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := twoTriangles(t)
+	labels, count := ConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("triangle 1 split across components")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatal("triangle 2 split across components")
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("disjoint triangles merged")
+	}
+}
+
+func TestConnectedComponentsIsolated(t *testing.T) {
+	g := NewBuilder(4).Build()
+	_, count := ConnectedComponents(g)
+	if count != 4 {
+		t.Fatalf("4 isolated vertices formed %d components", count)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Triangle {0,1,2} plus edge {3,4} plus isolated 5.
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {0, 2}, {3, 4}})
+	lc := LargestComponent(g)
+	if len(lc) != 3 {
+		t.Fatalf("largest component size %d, want 3", len(lc))
+	}
+	for _, v := range lc {
+		if v > 2 {
+			t.Fatalf("unexpected vertex %d in largest component", v)
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	if lc := LargestComponent(NewBuilder(0).Build()); lc != nil {
+		t.Fatalf("empty graph largest component = %v", lc)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := k4(t)
+	sub, orig := InducedSubgraph(g, []Vertex{1, 2, 3})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced K3: V=%d E=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Fatalf("orig mapping %v", orig)
+	}
+}
+
+func TestInducedSubgraphNoEdges(t *testing.T) {
+	g := path(t, 5)
+	sub, _ := InducedSubgraph(g, []Vertex{0, 2, 4})
+	if sub.NumEdges() != 0 {
+		t.Fatalf("non-adjacent vertices induced %d edges", sub.NumEdges())
+	}
+}
+
+func TestDiameter2Sweep(t *testing.T) {
+	if d := Diameter2Sweep(path(t, 10), 4); d != 9 {
+		t.Fatalf("path diameter estimate %d, want 9", d)
+	}
+	if d := Diameter2Sweep(k4(t), 0); d != 1 {
+		t.Fatalf("K4 diameter estimate %d, want 1", d)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"K4", k4(t), 4},
+		{"two triangles", twoTriangles(t), 2},
+		{"path", path(t, 6), 0},
+		{"empty", NewBuilder(3).Build(), 0},
+	}
+	for _, tc := range cases {
+		if got := TriangleCount(tc.g); got != tc.want {
+			t.Errorf("%s: TriangleCount = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGlobalClusteringCoefficient(t *testing.T) {
+	// K4: every wedge closes -> coefficient 1.
+	if c := GlobalClusteringCoefficient(k4(t)); c != 1 {
+		t.Fatalf("K4 clustering %v, want 1", c)
+	}
+	if c := GlobalClusteringCoefficient(path(t, 5)); c != 0 {
+		t.Fatalf("path clustering %v, want 0", c)
+	}
+	if c := GlobalClusteringCoefficient(NewBuilder(2).Build()); c != 0 {
+		t.Fatalf("edgeless clustering %v, want 0", c)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {0, 2}, {3, 4}})
+	s := ComputeStats(g)
+	if s.Vertices != 6 || s.Edges != 4 {
+		t.Fatalf("stats size wrong: %+v", s)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 2 {
+		t.Fatalf("degree range wrong: %+v", s)
+	}
+	if s.Components != 3 {
+		t.Fatalf("components = %d, want 3", s.Components)
+	}
+	if s.LargestComponentFrac != 0.5 {
+		t.Fatalf("largest frac = %v, want 0.5", s.LargestComponentFrac)
+	}
+	if s.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0).Build())
+	if s.Vertices != 0 || s.Edges != 0 || s.Components != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(t, 4) // degrees: 1,2,2,1
+	h := DegreeHistogram(g)
+	if len(h) != 3 || h[0] != 0 || h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestGiniUniform(t *testing.T) {
+	if g := gini([]int{5, 5, 5, 5}); g != 0 {
+		t.Fatalf("uniform gini %v, want 0", g)
+	}
+	// Extreme inequality approaches 1.
+	skew := make([]int, 100)
+	skew[99] = 1000
+	if g := gini(skew); g < 0.9 {
+		t.Fatalf("skewed gini %v, want near 1", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("nil gini %v", g)
+	}
+	if g := gini([]int{0, 0}); g != 0 {
+		t.Fatalf("all-zero gini %v", g)
+	}
+}

@@ -1,0 +1,397 @@
+// Package harness defines and runs the paper's experiments: Table III
+// (datasets), Fig. 8 (RF of five algorithms on nine graphs), Table IV
+// (ΔRF between METIS and TLP), Figs. 9-11 (TLP vs TLP_R over R), and
+// Table VI (per-stage average degrees). Each experiment renders the same
+// rows/series the paper reports and can also emit CSV for plotting.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/core"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/streaming"
+)
+
+// Config drives an experiment run.
+type Config struct {
+	// Seed parameterises dataset generation and every partitioner.
+	Seed uint64
+	// Datasets to evaluate; nil means the full G1..G9 registry.
+	Datasets []gen.Dataset
+	// Ps is the list of partition counts; nil means {10, 15, 20}.
+	Ps []int
+	// Out receives the rendered tables; nil means os.Stdout.
+	Out io.Writer
+	// CSVDir, when non-empty, also writes one CSV per experiment there.
+	CSVDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Datasets == nil {
+		c.Datasets = gen.Datasets()
+	}
+	if len(c.Ps) == 0 {
+		c.Ps = []int{10, 15, 20}
+	}
+	if c.Out == nil {
+		c.Out = os.Stdout
+	}
+	return c
+}
+
+// Result is one (dataset, algorithm, p) measurement.
+type Result struct {
+	Dataset   string
+	Algorithm string
+	P         int
+	RF        float64
+	Balance   float64
+	Seconds   float64
+	// Stats carries TLP-family stage statistics when applicable.
+	Stats *core.Stats
+}
+
+// Algorithms returns the Fig. 8 roster in the paper's order: TLP, METIS,
+// LDG, DBH, Random.
+func Algorithms(seed uint64) []partition.Partitioner {
+	return []partition.Partitioner{
+		core.MustNew(core.Options{Seed: seed}),
+		metis.New(metis.Config{Seed: seed}),
+		streaming.NewLDG(seed, streaming.OrderShuffled),
+		streaming.NewDBH(seed),
+		streaming.NewRandom(seed),
+	}
+}
+
+// runOne partitions g and measures RF/balance/time.
+func runOne(g *graph.Graph, pt partition.Partitioner, dataset string, p int) (Result, error) {
+	start := time.Now()
+	a, err := pt.Partition(g, p)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s on %s p=%d: %w", pt.Name(), dataset, p, err)
+	}
+	elapsed := time.Since(start).Seconds()
+	m, err := partition.Compute(g, a)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: metrics for %s on %s: %w", pt.Name(), dataset, err)
+	}
+	return Result{
+		Dataset:   dataset,
+		Algorithm: pt.Name(),
+		P:         p,
+		RF:        m.ReplicationFactor,
+		Balance:   m.Balance,
+		Seconds:   elapsed,
+	}, nil
+}
+
+// RunTable3 prints the dataset statistics table (Table III analogue) and
+// returns the generated graphs keyed by notation so later experiments can
+// reuse them.
+func RunTable3(cfg Config) (map[string]*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	graphs := make(map[string]*graph.Graph, len(cfg.Datasets))
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TABLE III: datasets (synthetic analogues; see DESIGN.md §4)")
+	fmt.Fprintln(tw, "Graph\tNotation\t|V(G)|\t|E(G)|\t|V|+|E|\tfamily")
+	var rows [][]string
+	for _, d := range cfg.Datasets {
+		g := d.Generate(cfg.Seed)
+		graphs[d.Notation] = g
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			d.Name, d.Notation, g.NumVertices(), g.NumEdges(),
+			g.NumVertices()+g.NumEdges(), d.Family)
+		rows = append(rows, []string{d.Name, d.Notation,
+			strconv.Itoa(g.NumVertices()), strconv.Itoa(g.NumEdges()), d.Family})
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, fmt.Errorf("harness: flushing table: %w", err)
+	}
+	if err := writeCSV(cfg, "table3.csv",
+		[]string{"name", "notation", "vertices", "edges", "family"}, rows); err != nil {
+		return nil, err
+	}
+	return graphs, nil
+}
+
+// RunFig8 measures RF for the five-algorithm roster on every dataset and
+// partition count, printing one block per p (Fig. 8 a-c).
+func RunFig8(cfg Config, graphs map[string]*graph.Graph) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var results []Result
+	algs := Algorithms(cfg.Seed)
+	for _, p := range cfg.Ps {
+		fmt.Fprintf(cfg.Out, "\nFIG 8 (p=%d): replication factor by algorithm\n", p)
+		tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+		header := "graph"
+		for _, a := range algs {
+			header += "\t" + a.Name()
+		}
+		fmt.Fprintln(tw, header)
+		for _, d := range cfg.Datasets {
+			row := d.Notation
+			for _, alg := range algs {
+				res, err := runOne(graphs[d.Notation], alg, d.Notation, p)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+				row += fmt.Sprintf("\t%.3f", res.RF)
+			}
+			fmt.Fprintln(tw, row)
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, fmt.Errorf("harness: flushing fig8: %w", err)
+		}
+	}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{r.Dataset, r.Algorithm, strconv.Itoa(r.P),
+			fmt.Sprintf("%.4f", r.RF), fmt.Sprintf("%.4f", r.Balance),
+			fmt.Sprintf("%.3f", r.Seconds)})
+	}
+	if err := writeCSV(cfg, "fig8.csv",
+		[]string{"dataset", "algorithm", "p", "rf", "balance", "seconds"}, rows); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunTable4 derives ΔRF = RF(METIS) - RF(TLP) from Fig. 8 results
+// (running them if needed) and prints the Table IV analogue.
+func RunTable4(cfg Config, fig8 []Result) error {
+	cfg = cfg.withDefaults()
+	if fig8 == nil {
+		var err error
+		fig8, err = RunFig8(cfg, nil)
+		if err != nil {
+			return err
+		}
+	}
+	rf := map[string]map[int]map[string]float64{} // alg -> p -> dataset -> RF
+	for _, r := range fig8 {
+		if rf[r.Algorithm] == nil {
+			rf[r.Algorithm] = map[int]map[string]float64{}
+		}
+		if rf[r.Algorithm][r.P] == nil {
+			rf[r.Algorithm][r.P] = map[string]float64{}
+		}
+		rf[r.Algorithm][r.P][r.Dataset] = r.RF
+	}
+	fmt.Fprintln(cfg.Out, "\nTABLE IV: dRF = RF(METIS) - RF(TLP) (positive means TLP wins)")
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	header := "p"
+	for _, d := range cfg.Datasets {
+		header += "\t" + d.Notation
+	}
+	header += "\tAverage"
+	fmt.Fprintln(tw, header)
+	var rows [][]string
+	for _, p := range cfg.Ps {
+		row := fmt.Sprintf("p=%d", p)
+		sum, cnt := 0.0, 0
+		for _, d := range cfg.Datasets {
+			delta := rf["METIS"][p][d.Notation] - rf["TLP"][p][d.Notation]
+			row += fmt.Sprintf("\t%+.2f", delta)
+			rows = append(rows, []string{strconv.Itoa(p), d.Notation, fmt.Sprintf("%.4f", delta)})
+			sum += delta
+			cnt++
+		}
+		row += fmt.Sprintf("\t%+.2f", sum/float64(cnt))
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("harness: flushing table4: %w", err)
+	}
+	return writeCSV(cfg, "table4.csv", []string{"p", "dataset", "delta_rf"}, rows)
+}
+
+// RunFigR measures TLP against TLP_R for R in {0.0 .. 1.0} at one partition
+// count (Fig. 9 has p=10, Fig. 10 p=15, Fig. 11 p=20).
+func RunFigR(cfg Config, graphs map[string]*graph.Graph, p int) ([]Result, error) {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	var results []Result
+	fmt.Fprintf(cfg.Out, "\nFIG (p=%d): TLP vs TLP_R across R\n", p)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	header := "graph\tTLP"
+	for _, r := range rs {
+		header += fmt.Sprintf("\tR=%.1f", r)
+	}
+	fmt.Fprintln(tw, header)
+	for _, d := range cfg.Datasets {
+		g := graphs[d.Notation]
+		res, err := runOne(g, core.MustNew(core.Options{Seed: cfg.Seed}), d.Notation, p)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		row := fmt.Sprintf("%s\t%.3f", d.Notation, res.RF)
+		for _, r := range rs {
+			resR, err := runOne(g, core.MustNewTLPR(r, core.Options{Seed: cfg.Seed}), d.Notation, p)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, resR)
+			row += fmt.Sprintf("\t%.3f", resR.RF)
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, fmt.Errorf("harness: flushing figR: %w", err)
+	}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{r.Dataset, r.Algorithm, strconv.Itoa(r.P),
+			fmt.Sprintf("%.4f", r.RF)})
+	}
+	return results, writeCSV(cfg, fmt.Sprintf("figR_p%d.csv", p),
+		[]string{"dataset", "algorithm", "p", "rf"}, rows)
+}
+
+// RunTable6 reports the average original-graph degree of vertices selected
+// in Stage I vs Stage II during TLP runs (Table VI analogue).
+func RunTable6(cfg Config, graphs map[string]*graph.Graph) error {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(cfg.Out, "\nTABLE VI: average degree of vertices selected per stage")
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	header := "graph"
+	for _, p := range cfg.Ps {
+		header += fmt.Sprintf("\tp=%d stage I\tp=%d stage II", p, p)
+	}
+	fmt.Fprintln(tw, header)
+	var rows [][]string
+	for _, d := range cfg.Datasets {
+		row := d.Notation
+		for _, p := range cfg.Ps {
+			tlp := core.MustNew(core.Options{Seed: cfg.Seed})
+			_, stats, err := tlp.PartitionStats(graphs[d.Notation], p)
+			if err != nil {
+				return fmt.Errorf("harness: table6 %s p=%d: %w", d.Notation, p, err)
+			}
+			row += fmt.Sprintf("\t%.2f\t%.2f", stats.AvgDegreeStage1(), stats.AvgDegreeStage2())
+			rows = append(rows, []string{d.Notation, strconv.Itoa(p),
+				fmt.Sprintf("%.3f", stats.AvgDegreeStage1()),
+				fmt.Sprintf("%.3f", stats.AvgDegreeStage2())})
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("harness: flushing table6: %w", err)
+	}
+	return writeCSV(cfg, "table6.csv",
+		[]string{"dataset", "p", "avg_degree_stage1", "avg_degree_stage2"}, rows)
+}
+
+// RunTiming measures partitioning wall-clock per algorithm per dataset at
+// one partition count — the runtime counterpart of Section III.E's
+// complexity discussion (the paper reports no times; this table quantifies
+// the TLP-vs-METIS trade the paper describes qualitatively).
+func RunTiming(cfg Config, graphs map[string]*graph.Graph, p int) error {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	algs := Algorithms(cfg.Seed)
+	fmt.Fprintf(cfg.Out, "\nTIMING (p=%d): partitioning seconds by algorithm\n", p)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	header := "graph"
+	for _, a := range algs {
+		header += "\t" + a.Name()
+	}
+	fmt.Fprintln(tw, header)
+	var rows [][]string
+	for _, d := range cfg.Datasets {
+		row := d.Notation
+		for _, alg := range algs {
+			res, err := runOne(graphs[d.Notation], alg, d.Notation, p)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("\t%.3f", res.Seconds)
+			rows = append(rows, []string{d.Notation, alg.Name(),
+				strconv.Itoa(p), fmt.Sprintf("%.4f", res.Seconds)})
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("harness: flushing timing: %w", err)
+	}
+	return writeCSV(cfg, fmt.Sprintf("timing_p%d.csv", p),
+		[]string{"dataset", "algorithm", "p", "seconds"}, rows)
+}
+
+func generateAll(cfg Config) (map[string]*graph.Graph, error) {
+	graphs := make(map[string]*graph.Graph, len(cfg.Datasets))
+	for _, d := range cfg.Datasets {
+		graphs[d.Notation] = d.Generate(cfg.Seed)
+	}
+	return graphs, nil
+}
+
+func writeCSV(cfg Config, name string, header []string, rows [][]string) (err error) {
+	if cfg.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		return fmt.Errorf("harness: creating %s: %w", cfg.CSVDir, err)
+	}
+	path := filepath.Join(cfg.CSVDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("harness: closing %s: %w", path, cerr)
+		}
+	}()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("harness: writing %s: %w", path, err)
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return fmt.Errorf("harness: writing %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("harness: flushing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package metis
+
+import (
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// bisection state: side[v] in {0, 1}.
+
+// greedyGrow produces an initial bisection of w targeting targetW vertex
+// weight on side 0: it grows a BFS-like region from a random seed, always
+// absorbing the boundary vertex with the highest connection weight to the
+// region, until the target weight is reached. Several trials keep the best
+// cut.
+func greedyGrow(w *wgraph, targetW int64, r *rng.RNG, trials int) []uint8 {
+	n := w.numVertices()
+	best := make([]uint8, n)
+	bestCut := int64(-1)
+	side := make([]uint8, n)
+	gain := make([]int32, n)
+	inRegion := make([]bool, n)
+	for t := 0; t < trials; t++ {
+		for i := range side {
+			side[i] = 1
+			gain[i] = 0
+			inRegion[i] = false
+		}
+		seed := int32(r.Intn(n))
+		grown := int64(0)
+		// boundary is a simple slice scanned for the max-gain vertex;
+		// coarsest graphs are small so O(B) per step is fine.
+		var boundary []int32
+		add := func(v int32) {
+			side[v] = 0
+			inRegion[v] = true
+			grown += int64(w.vwgt[v])
+			nbrs, wts := w.neighbors(v)
+			for i, u := range nbrs {
+				if inRegion[u] {
+					continue
+				}
+				if gain[u] == 0 {
+					boundary = append(boundary, u)
+				}
+				gain[u] += wts[i]
+			}
+		}
+		add(seed)
+		for grown < targetW {
+			var bestB int32 = -1
+			var bestG int32 = -1
+			idx := -1
+			for i, u := range boundary {
+				if inRegion[u] {
+					continue
+				}
+				if gain[u] > bestG || (gain[u] == bestG && u < bestB) {
+					bestB, bestG, idx = u, gain[u], i
+				}
+			}
+			if bestB == -1 {
+				// Disconnected coarse graph: seed a fresh region.
+				fresh := int32(-1)
+				for v := int32(0); int(v) < n; v++ {
+					if !inRegion[v] {
+						fresh = v
+						break
+					}
+				}
+				if fresh == -1 {
+					break
+				}
+				add(fresh)
+				continue
+			}
+			// Stop rather than overshoot badly.
+			if grown+int64(w.vwgt[bestB]) > targetW+targetW/4 && grown > targetW/2 {
+				break
+			}
+			boundary[idx] = boundary[len(boundary)-1]
+			boundary = boundary[:len(boundary)-1]
+			add(bestB)
+		}
+		cut := cutWeight(w, side)
+		if bestCut == -1 || cut < bestCut {
+			bestCut = cut
+			copy(best, side)
+		}
+	}
+	return best
+}
+
+// cutWeight returns the total weight of edges crossing the bisection.
+func cutWeight(w *wgraph, side []uint8) int64 {
+	var cut int64
+	for v := int32(0); int(v) < w.numVertices(); v++ {
+		nbrs, wts := w.neighbors(v)
+		for i, u := range nbrs {
+			if u > v && side[u] != side[v] {
+				cut += int64(wts[i])
+			}
+		}
+	}
+	return cut
+}
+
+// sideWeights returns the vertex weight on each side.
+func sideWeights(w *wgraph, side []uint8) (w0, w1 int64) {
+	for v := 0; v < w.numVertices(); v++ {
+		if side[v] == 0 {
+			w0 += int64(w.vwgt[v])
+		} else {
+			w1 += int64(w.vwgt[v])
+		}
+	}
+	return w0, w1
+}

@@ -1,0 +1,158 @@
+package metis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// DeriveFirstEndpoint assigns every edge to the part of its canonical first
+// endpoint (U). The simplest derivation rule; exists as the ablation
+// counterpart of DeriveEdgePartition's lighter-load rule (DESIGN.md §6) —
+// it produces lower RF for cut edges touching hubs but can be badly
+// imbalanced.
+func DeriveFirstEndpoint(g *graph.Graph, labels []int32, p int) (*partition.Assignment, error) {
+	if len(labels) != g.NumVertices() {
+		return nil, fmt.Errorf("metis: %d labels for %d vertices", len(labels), g.NumVertices())
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	for id, e := range g.Edges() {
+		k := labels[e.U]
+		if k < 0 || int(k) >= p {
+			return nil, fmt.Errorf("metis: label out of range for edge %d", id)
+		}
+		a.Assign(graph.EdgeID(id), int(k))
+	}
+	return a, nil
+}
+
+// DeriveBalanced is DeriveEdgePartition followed by a rebalancing pass that
+// enforces the strict capacity C = ceil(m/p) of Definition 3: overfull
+// partitions donate edges to underfull ones, preferring donations that do
+// not create new replicas (an edge moves to a partition where both its
+// endpoints are already present), then cut edges moving to their other
+// endpoint's part, then arbitrary edges. The result always satisfies
+// |E(P_k)| <= C.
+func DeriveBalanced(g *graph.Graph, labels []int32, p int) (*partition.Assignment, error) {
+	a, err := DeriveEdgePartition(g, labels, p)
+	if err != nil {
+		return nil, err
+	}
+	capC := partition.Capacity(g.NumEdges(), p)
+	over := overfull(a, capC)
+	if len(over) == 0 {
+		return a, nil
+	}
+	// present[k] is a vertex->bool presence map per partition, maintained
+	// approximately (presence is only added, never removed, so "both
+	// endpoints present" stays a safe no-new-replica test for targets).
+	present := make([]map[graph.Vertex]bool, p)
+	for k := range present {
+		present[k] = make(map[graph.Vertex]bool)
+	}
+	for id, e := range g.Edges() {
+		k, _ := a.PartitionOf(graph.EdgeID(id))
+		present[k][e.U] = true
+		present[k][e.V] = true
+	}
+	// Edge donation candidates per overfull partition, cheapest first:
+	// pass 1 free moves, pass 2 endpoint-part moves, pass 3 forced moves.
+	for _, k := range over {
+		for pass := 1; pass <= 3 && a.Load(k) > capC; pass++ {
+			for id := 0; id < g.NumEdges() && a.Load(k) > capC; id++ {
+				eid := graph.EdgeID(id)
+				cur, _ := a.PartitionOf(eid)
+				if cur != k {
+					continue
+				}
+				e := g.Edge(eid)
+				target := -1
+				switch pass {
+				case 1:
+					// Free: some underfull partition already holds
+					// both endpoints.
+					for t := 0; t < p; t++ {
+						if t != k && a.Load(t) < capC &&
+							present[t][e.U] && present[t][e.V] {
+							target = t
+							break
+						}
+					}
+				case 2:
+					// The other endpoint's labelled part, if underfull.
+					for _, cand := range []int32{labels[e.U], labels[e.V]} {
+						t := int(cand)
+						if t != k && t >= 0 && t < p && a.Load(t) < capC {
+							target = t
+							break
+						}
+					}
+				default:
+					// Any least-loaded partition.
+					for t := 0; t < p; t++ {
+						if t != k && a.Load(t) < capC &&
+							(target == -1 || a.Load(t) < a.Load(target)) {
+							target = t
+						}
+					}
+				}
+				if target == -1 {
+					continue
+				}
+				a.Assign(eid, target)
+				present[target][e.U] = true
+				present[target][e.V] = true
+			}
+		}
+	}
+	return a, nil
+}
+
+// overfull returns partitions exceeding capC, most-loaded first.
+func overfull(a *partition.Assignment, capC int) []int {
+	var out []int
+	for k := 0; k < a.P(); k++ {
+		if a.Load(k) > capC {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return a.Load(out[i]) > a.Load(out[j]) })
+	return out
+}
+
+// FlatKL is the multilevel pipeline with coarsening disabled: greedy growing
+// plus FM refinement on the full graph, recursively bisected — effectively
+// the classic Kernighan-Lin/FM approach the paper cites as the pre-METIS
+// offline baseline. Exists as the DESIGN.md §6 multilevel-vs-flat ablation.
+type FlatKL struct {
+	cfg Config
+}
+
+var _ partition.Partitioner = (*FlatKL)(nil)
+
+// NewFlatKL returns the non-multilevel offline baseline.
+func NewFlatKL(cfg Config) *FlatKL {
+	c := cfg.withDefaults()
+	// Disabling coarsening: the driver stops immediately when the graph
+	// is already at or below CoarsenTo, so set it enormous.
+	c.CoarsenTo = int(^uint(0) >> 1)
+	return &FlatKL{cfg: c}
+}
+
+// Name implements partition.Partitioner.
+func (f *FlatKL) Name() string { return "KL" }
+
+// Partition implements partition.Partitioner.
+func (f *FlatKL) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	m := &Partitioner{cfg: f.cfg}
+	labels, err := m.VertexPartition(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return DeriveEdgePartition(g, labels, p)
+}

@@ -1,0 +1,318 @@
+package metis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+func randomGraph(seed uint64, n, extra int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		_ = b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestWGraphFromGraph(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	w := fromGraph(g)
+	if w.numVertices() != 4 {
+		t.Fatalf("V=%d", w.numVertices())
+	}
+	if w.totalVertexWeight() != 4 {
+		t.Fatalf("total weight %d", w.totalVertexWeight())
+	}
+	if w.degree(1) != 2 {
+		t.Fatalf("degree(1)=%d", w.degree(1))
+	}
+	nbrs, wts := w.neighbors(1)
+	if len(nbrs) != 2 || wts[0] != 1 {
+		t.Fatalf("neighbors(1)=%v %v", nbrs, wts)
+	}
+}
+
+func TestHeavyEdgeMatchingValid(t *testing.T) {
+	g := randomGraph(1, 100, 300)
+	w := fromGraph(g)
+	match, coarseN := heavyEdgeMatching(w, rng.New(2), 1000)
+	if coarseN <= 0 || coarseN > 100 {
+		t.Fatalf("coarseN=%d", coarseN)
+	}
+	for v := int32(0); v < 100; v++ {
+		m := match[v]
+		if m == -1 {
+			t.Fatalf("vertex %d unmatched marker left", v)
+		}
+		if m != v && match[m] != v {
+			t.Fatalf("matching not symmetric: %d->%d->%d", v, m, match[m])
+		}
+	}
+}
+
+func TestContractPreservesWeight(t *testing.T) {
+	g := randomGraph(3, 80, 200)
+	w := fromGraph(g)
+	match, coarseN := heavyEdgeMatching(w, rng.New(4), 1000)
+	cg, coarseOf := contract(w, match, coarseN)
+	if cg.numVertices() != coarseN {
+		t.Fatalf("coarse V=%d, want %d", cg.numVertices(), coarseN)
+	}
+	if cg.totalVertexWeight() != w.totalVertexWeight() {
+		t.Fatalf("vertex weight not preserved: %d vs %d",
+			cg.totalVertexWeight(), w.totalVertexWeight())
+	}
+	// Total edge weight = original minus collapsed internal edges.
+	var coarseW, fineW int64
+	for v := int32(0); int(v) < cg.numVertices(); v++ {
+		_, wts := cg.neighbors(v)
+		for _, x := range wts {
+			coarseW += int64(x)
+		}
+	}
+	for v := int32(0); int(v) < w.numVertices(); v++ {
+		nbrs, wts := w.neighbors(v)
+		for i, u := range nbrs {
+			if coarseOf[u] != coarseOf[v] {
+				fineW += int64(wts[i])
+			}
+		}
+	}
+	if coarseW != fineW {
+		t.Fatalf("cross edge weight mismatch: %d vs %d", coarseW, fineW)
+	}
+	for _, c := range coarseOf {
+		if c < 0 || int(c) >= coarseN {
+			t.Fatalf("coarseOf out of range: %d", c)
+		}
+	}
+}
+
+func TestGreedyGrowBalance(t *testing.T) {
+	g := randomGraph(5, 200, 600)
+	w := fromGraph(g)
+	side := greedyGrow(w, 100, rng.New(6), 4)
+	w0, w1 := sideWeights(w, side)
+	if w0+w1 != 200 {
+		t.Fatalf("weights %d+%d != 200", w0, w1)
+	}
+	if w0 < 50 || w0 > 150 {
+		t.Fatalf("side 0 weight %d badly off target 100", w0)
+	}
+}
+
+func TestRefineFMImprovesOrKeepsCut(t *testing.T) {
+	g := randomGraph(7, 150, 450)
+	w := fromGraph(g)
+	// Awful initial bisection: alternating sides.
+	side := make([]uint8, 150)
+	for i := range side {
+		side[i] = uint8(i % 2)
+	}
+	before := cutWeight(w, side)
+	refineFM(w, side, 75, 1.05, 8)
+	after := cutWeight(w, side)
+	if after > before {
+		t.Fatalf("FM worsened the cut: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Logf("FM made no progress (before=%d)", before)
+	}
+	w0, w1 := sideWeights(w, side)
+	if float64(w0) > 75*1.05+1 || float64(w1) > 75*1.05+1 {
+		t.Fatalf("FM violated balance: %d/%d", w0, w1)
+	}
+}
+
+func TestVertexPartitionComplete(t *testing.T) {
+	g := randomGraph(9, 500, 1500)
+	m := New(Config{Seed: 11})
+	for _, p := range []int{2, 3, 5, 10} {
+		labels, err := m.VertexPartition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, p)
+		for _, l := range labels {
+			if l < 0 || int(l) >= p {
+				t.Fatalf("label %d out of range", l)
+			}
+			counts[l]++
+		}
+		// Vertex balance within ~2x of average (recursive bisection with
+		// 5% tolerance per level compounds).
+		avg := 500 / p
+		for k, c := range counts {
+			if c > 2*avg+10 {
+				t.Fatalf("p=%d part %d has %d of %d vertices", p, k, c, 500)
+			}
+		}
+	}
+}
+
+func TestVertexPartitionErrors(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.VertexPartition(nil, 2); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := randomGraph(13, 10, 10)
+	if _, err := m.VertexPartition(g, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestVertexPartitionTrivial(t *testing.T) {
+	g := randomGraph(15, 30, 50)
+	m := New(Config{Seed: 1})
+	labels, err := m.VertexPartition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("p=1 should label everything 0")
+		}
+	}
+	// p > n still works.
+	small := randomGraph(17, 5, 4)
+	if _, err := m.VertexPartition(small, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionEdgeComplete(t *testing.T) {
+	g := randomGraph(19, 400, 1200)
+	m := New(Config{Seed: 21})
+	a, err := m.Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge loads are balanced greedily, not strictly; allow 2x slack.
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 2.0}); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	rf, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf < 1 || rf > 8 {
+		t.Fatalf("RF %v out of range", rf)
+	}
+}
+
+func TestMetisDeterministic(t *testing.T) {
+	g := randomGraph(23, 200, 600)
+	m := New(Config{Seed: 25})
+	a1, err := m.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		k1, _ := a1.PartitionOf(graph.EdgeID(id))
+		k2, _ := a2.PartitionOf(graph.EdgeID(id))
+		if k1 != k2 {
+			t.Fatal("METIS not deterministic for fixed seed")
+		}
+	}
+}
+
+// TestMetisBeatsRandomOnCommunities: the multilevel scheme must find planted
+// structure that random assignment misses.
+func TestMetisBeatsRandomOnCommunities(t *testing.T) {
+	g := gen.PlantedCommunities(gen.CommunityConfig{
+		Vertices: 600, Communities: 8, TargetEdges: 6000, IntraFraction: 0.85,
+	}, rng.New(27))
+	p := 8
+	a, err := New(Config{Seed: 29}).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfMetis, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	ar := partition.MustNew(g.NumEdges(), p)
+	for id := 0; id < g.NumEdges(); id++ {
+		ar.Assign(graph.EdgeID(id), r.Intn(p))
+	}
+	rfRand, err := partition.ReplicationFactor(g, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfMetis >= rfRand {
+		t.Fatalf("METIS RF %.3f not below random %.3f", rfMetis, rfRand)
+	}
+}
+
+func TestDeriveEdgePartition(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 3}})
+	labels := []int32{0, 0, 1, 1}
+	a, err := DeriveEdgePartition(g, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge (0,1) must be in part 0; edge (2,3) in part 1.
+	if id, _ := g.FindEdge(0, 1); mustPart(t, a, id) != 0 {
+		t.Fatal("intra-part edge placed in wrong part")
+	}
+	if id, _ := g.FindEdge(2, 3); mustPart(t, a, id) != 1 {
+		t.Fatal("intra-part edge placed in wrong part")
+	}
+	// Errors.
+	if _, err := DeriveEdgePartition(g, []int32{0}, 2); err == nil {
+		t.Fatal("short labels accepted")
+	}
+	if _, err := DeriveEdgePartition(g, []int32{0, 0, 9, 0}, 2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func mustPart(t *testing.T, a *partition.Assignment, id graph.EdgeID) int {
+	t.Helper()
+	k, ok := a.PartitionOf(id)
+	if !ok {
+		t.Fatalf("edge %d unassigned", id)
+	}
+	return k
+}
+
+// Property: every METIS edge partitioning is complete with labels in range.
+func TestMetisValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 20 + r.Intn(150)
+		g := randomGraph(seed, n, r.Intn(3*n))
+		p := 2 + r.Intn(6)
+		a, err := New(Config{Seed: seed}).Partition(g, p)
+		if err != nil {
+			return false
+		}
+		return partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 3.0}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMetisMedium(b *testing.B) {
+	g := gen.ChungLu(gen.ChungLuConfig{Vertices: 10000, TargetEdges: 50000, Exponent: 2.1}, rng.New(33))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{Seed: uint64(i)}).Partition(g, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

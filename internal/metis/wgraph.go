@@ -1,0 +1,207 @@
+// Package metis implements a from-scratch METIS-style multilevel graph
+// partitioner — the offline baseline of the paper's evaluation — and the
+// derivation of a balanced edge partitioning from its vertex partitioning.
+//
+// The pipeline is the classic three phases of Karypis & Kumar:
+//
+//  1. Coarsening: repeated heavy-edge matching contracts the graph until it
+//     is small.
+//  2. Initial partitioning: greedy graph growing bisects the coarsest graph.
+//  3. Uncoarsening: the bisection is projected back level by level, refined
+//     at each level with Fiduccia-Mattheyses boundary passes.
+//
+// k-way partitions come from recursive bisection. Because METIS partitions
+// vertices while the paper's problem partitions edges, each edge of the
+// input is then assigned to one of its endpoints' parts, preferring the
+// lighter part, which is the standard adaptation used when METIS appears as
+// an edge-partitioning baseline.
+package metis
+
+import (
+	"sort"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// wgraph is a weighted undirected graph in CSR form used internally by the
+// multilevel hierarchy. Vertex weights count collapsed input vertices; edge
+// weights count collapsed input edges.
+type wgraph struct {
+	offsets []int32
+	adj     []int32
+	wadj    []int32 // edge weight parallel to adj
+	vwgt    []int32 // vertex weights
+	// fineMap maps this graph's vertices to the coarser... no: coarse
+	// graph stores, for each fine vertex of the PREVIOUS level, its
+	// coarse vertex id. Held by the level, not the graph.
+}
+
+func (w *wgraph) numVertices() int { return len(w.vwgt) }
+
+func (w *wgraph) degree(v int32) int32 { return w.offsets[v+1] - w.offsets[v] }
+
+func (w *wgraph) neighbors(v int32) ([]int32, []int32) {
+	lo, hi := w.offsets[v], w.offsets[v+1]
+	return w.adj[lo:hi], w.wadj[lo:hi]
+}
+
+func (w *wgraph) totalVertexWeight() int64 {
+	var t int64
+	for _, x := range w.vwgt {
+		t += int64(x)
+	}
+	return t
+}
+
+// fromGraph converts the immutable input graph to a unit-weighted wgraph.
+func fromGraph(g *graph.Graph) *wgraph {
+	n := g.NumVertices()
+	w := &wgraph{
+		offsets: make([]int32, n+1),
+		adj:     make([]int32, 2*g.NumEdges()),
+		wadj:    make([]int32, 2*g.NumEdges()),
+		vwgt:    make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		w.vwgt[v] = 1
+		w.offsets[v+1] = w.offsets[v] + int32(g.Degree(graph.Vertex(v)))
+		copy(w.adj[w.offsets[v]:w.offsets[v+1]], g.Neighbors(graph.Vertex(v)))
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			w.wadj[i] = 1
+		}
+	}
+	return w
+}
+
+// level is one rung of the multilevel hierarchy.
+type level struct {
+	g *wgraph
+	// coarseOf maps each vertex of this level's graph to its vertex in
+	// the NEXT (coarser) graph; nil for the coarsest level.
+	coarseOf []int32
+}
+
+// heavyEdgeMatching computes a matching that prefers heavy edges: vertices
+// are visited in random order, and each unmatched vertex matches its
+// unmatched neighbour with the heaviest connecting edge. Returns match[v] =
+// partner (or v itself when unmatched) and the number of coarse vertices.
+func heavyEdgeMatching(w *wgraph, r *rng.RNG, maxVWgt int64) (match []int32, coarseN int) {
+	n := w.numVertices()
+	match = make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		nbrs, wts := w.neighbors(v)
+		for i, u := range nbrs {
+			if match[u] != -1 || u == v {
+				continue
+			}
+			if int64(w.vwgt[v])+int64(w.vwgt[u]) > maxVWgt {
+				continue // keep coarse vertices from ballooning
+			}
+			if wts[i] > bestW || (wts[i] == bestW && u < best) {
+				best, bestW = u, wts[i]
+			}
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	// Count coarse vertices: one per matched pair, one per singleton.
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] == v || match[v] > v {
+			coarseN++
+		}
+	}
+	return match, coarseN
+}
+
+// contract builds the coarser graph from a matching, also returning the
+// fine-to-coarse vertex map.
+func contract(w *wgraph, match []int32, coarseN int) (*wgraph, []int32) {
+	n := w.numVertices()
+	coarseOf := make([]int32, n)
+	next := int32(0)
+	for v := int32(0); int(v) < n; v++ {
+		if match[v] == v || match[v] > v {
+			coarseOf[v] = next
+			if match[v] != v {
+				coarseOf[match[v]] = next
+			}
+			next++
+		}
+	}
+	cg := &wgraph{
+		offsets: make([]int32, coarseN+1),
+		vwgt:    make([]int32, coarseN),
+	}
+	for v := int32(0); int(v) < n; v++ {
+		cg.vwgt[coarseOf[v]] += w.vwgt[v]
+	}
+	// Accumulate coarse adjacency with a per-coarse-vertex map pass.
+	type arc struct {
+		to int32
+		w  int32
+	}
+	arcs := make([][]arc, coarseN)
+	merge := make(map[int32]int32, 16)
+	for cv := int32(0); int(cv) < coarseN; cv++ {
+		_ = cv
+	}
+	// Group fine vertices by coarse id for cache-friendly accumulation.
+	members := make([][]int32, coarseN)
+	for v := int32(0); int(v) < n; v++ {
+		c := coarseOf[v]
+		members[c] = append(members[c], v)
+	}
+	for c := int32(0); int(c) < coarseN; c++ {
+		for k := range merge {
+			delete(merge, k)
+		}
+		for _, v := range members[c] {
+			nbrs, wts := w.neighbors(v)
+			for i, u := range nbrs {
+				cu := coarseOf[u]
+				if cu == c {
+					continue // internal edge collapses
+				}
+				merge[cu] += wts[i]
+			}
+		}
+		lst := make([]arc, 0, len(merge))
+		for to, wt := range merge {
+			lst = append(lst, arc{to, wt})
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
+		arcs[c] = lst
+	}
+	total := 0
+	for _, l := range arcs {
+		total += len(l)
+	}
+	cg.adj = make([]int32, total)
+	cg.wadj = make([]int32, total)
+	pos := int32(0)
+	for c := 0; c < coarseN; c++ {
+		cg.offsets[c] = pos
+		for _, a := range arcs[c] {
+			cg.adj[pos] = a.to
+			cg.wadj[pos] = a.w
+			pos++
+		}
+	}
+	cg.offsets[coarseN] = pos
+	return cg, coarseOf
+}

@@ -1,0 +1,146 @@
+// Package partition defines the shared vocabulary of every edge partitioner
+// in this repository: the edge-to-partition Assignment, the quality metrics
+// from the paper (replication factor, balance, per-partition modularity) and
+// structural validation.
+package partition
+
+import (
+	"fmt"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// Unassigned marks an edge not yet placed in any partition.
+const Unassigned int32 = -1
+
+// Assignment maps every edge of a graph to one of P partitions.
+//
+// The zero value is unusable; construct with New. Assignment is not safe for
+// concurrent mutation.
+type Assignment struct {
+	p     int
+	parts []int32 // parts[e] is the partition of EdgeID e, or Unassigned
+	loads []int   // loads[k] = number of edges currently in partition k
+}
+
+// New returns an all-unassigned Assignment for numEdges edges across p
+// partitions. It returns an error when p < 1.
+func New(numEdges, p int) (*Assignment, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("partition: need at least one partition, got %d", p)
+	}
+	a := &Assignment{
+		p:     p,
+		parts: make([]int32, numEdges),
+		loads: make([]int, p),
+	}
+	for i := range a.parts {
+		a.parts[i] = Unassigned
+	}
+	return a, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(numEdges, p int) *Assignment {
+	a, err := New(numEdges, p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// P returns the number of partitions.
+func (a *Assignment) P() int { return a.p }
+
+// NumEdges returns the number of edges the assignment covers.
+func (a *Assignment) NumEdges() int { return len(a.parts) }
+
+// Assign places edge e in partition k, moving it if already placed.
+// It panics when k is out of range — partitioners own their ids.
+func (a *Assignment) Assign(e graph.EdgeID, k int) {
+	if k < 0 || k >= a.p {
+		panic(fmt.Sprintf("partition: partition id %d out of range [0,%d)", k, a.p))
+	}
+	if old := a.parts[e]; old != Unassigned {
+		a.loads[old]--
+	}
+	a.parts[e] = int32(k)
+	a.loads[k]++
+}
+
+// PartitionOf returns the partition of edge e and whether it is assigned.
+func (a *Assignment) PartitionOf(e graph.EdgeID) (int, bool) {
+	k := a.parts[e]
+	if k == Unassigned {
+		return 0, false
+	}
+	return int(k), true
+}
+
+// IsAssigned reports whether edge e has been placed.
+func (a *Assignment) IsAssigned(e graph.EdgeID) bool { return a.parts[e] != Unassigned }
+
+// Load returns the number of edges currently in partition k.
+func (a *Assignment) Load(k int) int { return a.loads[k] }
+
+// Loads returns a copy of all partition loads.
+func (a *Assignment) Loads() []int { return append([]int(nil), a.loads...) }
+
+// AssignedCount returns the number of edges placed so far.
+func (a *Assignment) AssignedCount() int {
+	total := 0
+	for _, l := range a.loads {
+		total += l
+	}
+	return total
+}
+
+// MaxLoad returns the largest partition load.
+func (a *Assignment) MaxLoad() int {
+	max := 0
+	for _, l := range a.loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MinLoad returns the smallest partition load.
+func (a *Assignment) MinLoad() int {
+	if a.p == 0 {
+		return 0
+	}
+	min := a.loads[0]
+	for _, l := range a.loads[1:] {
+		if l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{
+		p:     a.p,
+		parts: append([]int32(nil), a.parts...),
+		loads: append([]int(nil), a.loads...),
+	}
+}
+
+// Capacity returns the paper's per-partition edge capacity C = ceil(m/p).
+func Capacity(numEdges, p int) int {
+	if p < 1 {
+		return numEdges
+	}
+	return (numEdges + p - 1) / p
+}
+
+// Partitioner is the contract every edge partitioner implements.
+type Partitioner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Partition assigns every edge of g to one of p partitions.
+	Partition(g *graph.Graph, p int) (*Assignment, error)
+}

@@ -1,0 +1,236 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// Metrics summarises the quality of a finished edge partitioning using the
+// paper's measurements.
+type Metrics struct {
+	// P is the partition count.
+	P int
+	// ReplicationFactor is RF = sum_k |V(P_k)| / |V| (Definition 4), the
+	// paper's headline quality metric; 1.0 means no vertex is spanned.
+	ReplicationFactor float64
+	// Balance is max_k |E(P_k)| / (m/p); 1.0 is perfectly balanced.
+	Balance float64
+	// MaxLoad / MinLoad are the extreme partition edge counts.
+	MaxLoad, MinLoad int
+	// SpannedVertices is the number of vertices replicated in >=2
+	// partitions (mirrors exist for these).
+	SpannedVertices int
+	// TotalReplicas is sum_k |V(P_k)| (masters + mirrors).
+	TotalReplicas int
+	// Modularity holds the paper's per-partition modularity
+	// M(P_k) = |E(P_k)| / |E_out(P_k)| (Definition 8), computed on the
+	// final partitioning with E_out measured as boundary incidences (see
+	// ModularityOf). Infinite modularity (no external edges) is reported
+	// as math.Inf(1).
+	Modularity []float64
+}
+
+// String renders the headline numbers on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("p=%d RF=%.3f balance=%.3f load=[%d,%d] spanned=%d",
+		m.P, m.ReplicationFactor, m.Balance, m.MinLoad, m.MaxLoad, m.SpannedVertices)
+}
+
+// Compute calculates Metrics for a complete assignment of g. Unassigned
+// edges are an error — call Validate first when in doubt.
+func Compute(g *graph.Graph, a *Assignment) (Metrics, error) {
+	if a.NumEdges() != g.NumEdges() {
+		return Metrics{}, fmt.Errorf("partition: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
+	}
+	p := a.P()
+	m := Metrics{P: p, MinLoad: a.MinLoad(), MaxLoad: a.MaxLoad()}
+	replicaSets := VertexSets(g, a)
+	n := g.NumVertices()
+	// presentIn[v] counts partitions containing v.
+	presentIn := make([]int32, n)
+	for _, set := range replicaSets {
+		for _, v := range set {
+			presentIn[v]++
+		}
+		m.TotalReplicas += len(set)
+	}
+	activeVertices := 0
+	for _, c := range presentIn {
+		if c >= 1 {
+			activeVertices++
+		}
+		if c >= 2 {
+			m.SpannedVertices++
+		}
+	}
+	if n > 0 {
+		// The paper divides by |V|; isolated vertices (degree 0) never
+		// appear in any partition and still count in the denominator.
+		m.ReplicationFactor = float64(m.TotalReplicas) / float64(n)
+	}
+	if g.NumEdges() > 0 {
+		avg := float64(g.NumEdges()) / float64(p)
+		m.Balance = float64(m.MaxLoad) / avg
+	}
+	mod, err := ModularityAll(g, a)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Modularity = mod
+	return m, nil
+}
+
+// ReplicationFactor computes only RF; cheaper than Compute when the other
+// metrics are not needed.
+func ReplicationFactor(g *graph.Graph, a *Assignment) (float64, error) {
+	if a.NumEdges() != g.NumEdges() {
+		return 0, fmt.Errorf("partition: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, nil
+	}
+	// seen[v] is a bitset over partitions for small p, else a map; p is
+	// small (10-20) throughout the paper, so a uint64 bitset suffices and
+	// keeps this O(n + m).
+	if a.P() <= 64 {
+		seen := make([]uint64, n)
+		for id, e := range g.Edges() {
+			k, ok := a.PartitionOf(graph.EdgeID(id))
+			if !ok {
+				return 0, fmt.Errorf("partition: edge %d unassigned", id)
+			}
+			bit := uint64(1) << uint(k)
+			seen[e.U] |= bit
+			seen[e.V] |= bit
+		}
+		total := 0
+		for _, bits := range seen {
+			total += popcount(bits)
+		}
+		return float64(total) / float64(n), nil
+	}
+	sets := VertexSets(g, a)
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	return float64(total) / float64(n), nil
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// VertexSets returns V(P_k) for every partition: the vertices incident to at
+// least one edge assigned to k. Unassigned edges are skipped.
+func VertexSets(g *graph.Graph, a *Assignment) [][]graph.Vertex {
+	p := a.P()
+	// mark[v] = last partition that recorded v, to dedupe per partition.
+	sets := make([][]graph.Vertex, p)
+	mark := make([][]bool, p)
+	for k := range mark {
+		mark[k] = make([]bool, g.NumVertices())
+	}
+	for id, e := range g.Edges() {
+		k, ok := a.PartitionOf(graph.EdgeID(id))
+		if !ok {
+			continue
+		}
+		if !mark[k][e.U] {
+			mark[k][e.U] = true
+			sets[k] = append(sets[k], e.U)
+		}
+		if !mark[k][e.V] {
+			mark[k][e.V] = true
+			sets[k] = append(sets[k], e.V)
+		}
+	}
+	return sets
+}
+
+// ModularityAll returns M(P_k) for every partition of a complete assignment.
+//
+// Definition 8 defines M(P_k) = |E(P_k)| / |E_out(P_k)|. On a finished
+// partitioning we measure |E_out(P_k)| as the number of boundary incidences:
+// sum over v in V(P_k) of the edges incident to v that are NOT in P_k. This
+// is the quantity that makes the averaging identity of Claim 1
+// (sum deg(v in P_k) = 2|E(P_k)| + |E_out(P_k)|) exact. Partitions with no
+// external incidences get M = +Inf; empty partitions get M = 0.
+func ModularityAll(g *graph.Graph, a *Assignment) ([]float64, error) {
+	p := a.P()
+	internal := make([]int64, p)
+	degSum := make([]int64, p)
+	sets := VertexSets(g, a)
+	for id := range g.Edges() {
+		k, ok := a.PartitionOf(graph.EdgeID(id))
+		if !ok {
+			return nil, fmt.Errorf("partition: edge %d unassigned", id)
+		}
+		internal[k]++
+	}
+	for k, set := range sets {
+		for _, v := range set {
+			degSum[k] += int64(g.Degree(v))
+		}
+	}
+	out := make([]float64, p)
+	for k := 0; k < p; k++ {
+		ext := degSum[k] - 2*internal[k]
+		switch {
+		case internal[k] == 0:
+			out[k] = 0
+		case ext == 0:
+			out[k] = math.Inf(1)
+		default:
+			out[k] = float64(internal[k]) / float64(ext)
+		}
+	}
+	return out, nil
+}
+
+// ModularityOf returns M(P_k) for a single partition.
+func ModularityOf(g *graph.Graph, a *Assignment, k int) (float64, error) {
+	all, err := ModularityAll(g, a)
+	if err != nil {
+		return 0, err
+	}
+	if k < 0 || k >= len(all) {
+		return 0, fmt.Errorf("partition: partition %d out of range", k)
+	}
+	return all[k], nil
+}
+
+// ReplicaCount returns, for every vertex, the number of partitions whose
+// edge set touches it (0 for isolated vertices).
+func ReplicaCount(g *graph.Graph, a *Assignment) []int {
+	n := g.NumVertices()
+	counts := make([]int, n)
+	if a.P() <= 64 {
+		seen := make([]uint64, n)
+		for id, e := range g.Edges() {
+			if k, ok := a.PartitionOf(graph.EdgeID(id)); ok {
+				bit := uint64(1) << uint(k)
+				seen[e.U] |= bit
+				seen[e.V] |= bit
+			}
+		}
+		for v, bits := range seen {
+			counts[v] = popcount(bits)
+		}
+		return counts
+	}
+	for k, set := range VertexSets(g, a) {
+		_ = k
+		for _, v := range set {
+			counts[v]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// PartitionDetail describes one partition of a finished assignment.
+type PartitionDetail struct {
+	// ID is the partition index.
+	ID int `json:"id"`
+	// Edges is |E(P_k)|.
+	Edges int `json:"edges"`
+	// Vertices is |V(P_k)| (replicas hosted).
+	Vertices int `json:"vertices"`
+	// Masters counts vertices whose majority of edges live here (the
+	// natural master placement); Mirrors = Vertices - Masters under the
+	// most-incident-partition rule.
+	Masters int `json:"masters"`
+	// BoundaryVertices counts replicas shared with other partitions.
+	BoundaryVertices int `json:"boundary_vertices"`
+	// Modularity is the paper's M(P_k); +Inf marshals as null.
+	Modularity float64 `json:"modularity"`
+}
+
+// Report is the full quality breakdown of an edge partitioning.
+type Report struct {
+	// P is the partition count.
+	P int `json:"p"`
+	// Vertices / Edges describe the input graph.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// Capacity is C = ceil(m/p).
+	Capacity int `json:"capacity"`
+	// ReplicationFactor, Balance and SpannedVertices mirror Metrics.
+	ReplicationFactor float64 `json:"replication_factor"`
+	Balance           float64 `json:"balance"`
+	SpannedVertices   int     `json:"spanned_vertices"`
+	// Partitions holds the per-partition details.
+	Partitions []PartitionDetail `json:"partitions"`
+}
+
+// BuildReport computes the detailed report for a complete assignment.
+func BuildReport(g *graph.Graph, a *Assignment) (Report, error) {
+	m, err := Compute(g, a)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		P:                 a.P(),
+		Vertices:          g.NumVertices(),
+		Edges:             g.NumEdges(),
+		Capacity:          Capacity(g.NumEdges(), a.P()),
+		ReplicationFactor: m.ReplicationFactor,
+		Balance:           m.Balance,
+		SpannedVertices:   m.SpannedVertices,
+	}
+	sets := VertexSets(g, a)
+	counts := ReplicaCount(g, a)
+	// Master rule: most incident edges, lowest partition id on ties —
+	// matches the engine and cluster packages.
+	inc := make([][]int32, a.P())
+	for k := range inc {
+		inc[k] = make([]int32, g.NumVertices())
+	}
+	for id, e := range g.Edges() {
+		k, _ := a.PartitionOf(graph.EdgeID(id))
+		inc[k][e.U]++
+		inc[k][e.V]++
+	}
+	masterOf := make([]int32, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		best, bestInc := int32(-1), int32(0)
+		for k := 0; k < a.P(); k++ {
+			if inc[k][v] > bestInc {
+				best, bestInc = int32(k), inc[k][v]
+			}
+		}
+		masterOf[v] = best
+	}
+	for k := 0; k < a.P(); k++ {
+		d := PartitionDetail{
+			ID:         k,
+			Edges:      a.Load(k),
+			Vertices:   len(sets[k]),
+			Modularity: m.Modularity[k],
+		}
+		for _, v := range sets[k] {
+			if counts[v] > 1 {
+				d.BoundaryVertices++
+			}
+			if masterOf[v] == int32(k) {
+				d.Masters++
+			}
+		}
+		rep.Partitions = append(rep.Partitions, d)
+	}
+	return rep, nil
+}
+
+// WriteText renders the report as an aligned table.
+func (r Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "p=%d |V|=%d |E|=%d C=%d RF=%.4f balance=%.4f spanned=%d\n",
+		r.P, r.Vertices, r.Edges, r.Capacity, r.ReplicationFactor, r.Balance, r.SpannedVertices)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "part\tedges\tvertices\tmasters\tboundary\tmodularity")
+	for _, d := range r.Partitions {
+		mod := fmt.Sprintf("%.3f", d.Modularity)
+		if math.IsInf(d.Modularity, 1) {
+			mod = "inf"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\n",
+			d.ID, d.Edges, d.Vertices, d.Masters, d.BoundaryVertices, mod)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("partition: flushing report: %w", err)
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler, mapping +Inf modularities (which
+// encoding/json rejects) to null.
+func (d PartitionDetail) MarshalJSON() ([]byte, error) {
+	type alias PartitionDetail
+	if math.IsInf(d.Modularity, 1) || math.IsNaN(d.Modularity) {
+		return json.Marshal(struct {
+			alias
+			Modularity *float64 `json:"modularity"`
+		}{alias: alias(d), Modularity: nil})
+	}
+	return json.Marshal(alias(d))
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("partition: encoding report: %w", err)
+	}
+	return nil
+}

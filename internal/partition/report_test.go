@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+func reportFixture(t *testing.T) (*graph.Graph, *Assignment) {
+	t.Helper()
+	g := fig1Graph() // 8 edges, vertex 0 spans both halves
+	a := MustNew(g.NumEdges(), 2)
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.Edge(graph.EdgeID(id))
+		if e.U <= 2 && e.V <= 2 {
+			a.Assign(graph.EdgeID(id), 0)
+		} else {
+			a.Assign(graph.EdgeID(id), 1)
+		}
+	}
+	return g, a
+}
+
+func TestBuildReport(t *testing.T) {
+	g, a := reportFixture(t)
+	rep, err := BuildReport(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P != 2 || rep.Edges != 8 || rep.Vertices != 6 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	if len(rep.Partitions) != 2 {
+		t.Fatalf("%d partition details", len(rep.Partitions))
+	}
+	// Vertex 0 (a) is the only boundary vertex; it appears in both
+	// partitions but masters exactly one.
+	totalBoundary := rep.Partitions[0].BoundaryVertices + rep.Partitions[1].BoundaryVertices
+	if totalBoundary != 2 {
+		t.Fatalf("boundary replica count %d, want 2 (one vertex in two partitions)", totalBoundary)
+	}
+	totalMasters := rep.Partitions[0].Masters + rep.Partitions[1].Masters
+	if totalMasters != 6 {
+		t.Fatalf("masters %d, want 6 (every active vertex mastered once)", totalMasters)
+	}
+	if rep.Partitions[0].Edges+rep.Partitions[1].Edges != 8 {
+		t.Fatal("edge counts do not sum")
+	}
+}
+
+func TestBuildReportIncomplete(t *testing.T) {
+	g := fig1Graph()
+	a := MustNew(g.NumEdges(), 2)
+	if _, err := BuildReport(g, a); err == nil {
+		t.Fatal("incomplete assignment accepted")
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	g, a := reportFixture(t)
+	rep, err := BuildReport(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RF=", "part", "modularity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWriteJSONRoundTrip(t *testing.T) {
+	g, a := reportFixture(t)
+	rep, err := BuildReport(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if back.P != rep.P || len(back.Partitions) != len(rep.Partitions) {
+		t.Fatal("JSON round trip lost data")
+	}
+}
+
+func TestReportJSONInfModularity(t *testing.T) {
+	// Two disjoint triangles wholly inside their partitions: M = +Inf,
+	// which plain encoding/json rejects; the report must map it to null.
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	})
+	a := MustNew(6, 2)
+	for id := 0; id < 3; id++ {
+		a.Assign(graph.EdgeID(id), 0)
+	}
+	for id := 3; id < 6; id++ {
+		a.Assign(graph.EdgeID(id), 1)
+	}
+	rep, err := BuildReport(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("infinite modularity broke JSON encoding: %v", err)
+	}
+	if !strings.Contains(buf.String(), "\"modularity\": null") {
+		t.Fatalf("expected null modularity in:\n%s", buf.String())
+	}
+	// Text rendering spells it out.
+	buf.Reset()
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inf") {
+		t.Fatal("text report should print inf")
+	}
+}

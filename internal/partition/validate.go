@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"fmt"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// ValidateOptions tunes structural validation of a finished assignment.
+type ValidateOptions struct {
+	// Capacity is the per-partition edge bound C; zero means ceil(m/p).
+	Capacity int
+	// CapacitySlack multiplies Capacity before checking (some baselines,
+	// e.g. hashing, only balance in expectation). Zero means 1.0 (strict).
+	CapacitySlack float64
+	// AllowUnassigned skips the completeness check; used mid-algorithm.
+	AllowUnassigned bool
+}
+
+// Validate checks that a is a structurally valid balanced p-edge
+// partitioning of g per Definition 3: every edge assigned exactly once (the
+// Assignment representation makes double-assignment impossible, so this is a
+// completeness check) and every load within capacity.
+func Validate(g *graph.Graph, a *Assignment, opts ValidateOptions) error {
+	if a.NumEdges() != g.NumEdges() {
+		return fmt.Errorf("partition: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
+	}
+	if !opts.AllowUnassigned {
+		for id := 0; id < g.NumEdges(); id++ {
+			if !a.IsAssigned(graph.EdgeID(id)) {
+				e := g.Edge(graph.EdgeID(id))
+				return fmt.Errorf("partition: edge %d (%d,%d) unassigned", id, e.U, e.V)
+			}
+		}
+	}
+	cap := opts.Capacity
+	if cap <= 0 {
+		cap = Capacity(g.NumEdges(), a.P())
+	}
+	slack := opts.CapacitySlack
+	if slack <= 0 {
+		slack = 1.0
+	}
+	bound := int(float64(cap) * slack)
+	for k := 0; k < a.P(); k++ {
+		if a.Load(k) > bound {
+			return fmt.Errorf("partition: partition %d load %d exceeds bound %d (C=%d, slack=%.2f)",
+				k, a.Load(k), bound, cap, slack)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package refine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/graphpart/graphpart/internal/core"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/streaming"
+)
+
+func randomGraph(seed uint64, n, extra int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		_ = b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestConsolidateValidation(t *testing.T) {
+	g := randomGraph(1, 20, 20)
+	a := partition.MustNew(g.NumEdges(), 2)
+	if _, err := Consolidate(nil, a, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Consolidate(g, a, Options{}); err == nil {
+		t.Fatal("incomplete assignment accepted")
+	}
+}
+
+func TestConsolidateObviousWin(t *testing.T) {
+	// Path a-b-c with edges split so b is replicated, plenty of capacity:
+	// moving one edge consolidates b.
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	a := partition.MustNew(2, 2)
+	a.Assign(0, 0)
+	a.Assign(1, 1)
+	before, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Consolidate(g, a, Options{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("RF %.3f -> %.3f, expected improvement", before, after)
+	}
+	if stats.Moves == 0 || stats.ReplicasRemoved == 0 {
+		t.Fatalf("no moves recorded: %+v", stats)
+	}
+	if after != 1.0 {
+		t.Fatalf("path should consolidate to RF 1, got %.3f", after)
+	}
+}
+
+func TestConsolidateRespectsCapacity(t *testing.T) {
+	// Same path but strict capacity 1 per partition: no move possible.
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	a := partition.MustNew(2, 2)
+	a.Assign(0, 0)
+	a.Assign(1, 1)
+	stats, err := Consolidate(g, a, Options{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Moves != 0 {
+		t.Fatalf("capacity-violating move executed: %+v", stats)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{Capacity: 1}); err != nil {
+		t.Fatalf("assignment corrupted: %v", err)
+	}
+}
+
+func TestConsolidateImprovesRandomPartitioning(t *testing.T) {
+	g := gen.PlantedCommunities(gen.CommunityConfig{
+		Vertices: 400, Communities: 8, TargetEdges: 4000, IntraFraction: 0.8,
+	}, rng.New(2))
+	p := 4
+	a, err := streaming.NewRandom(3).Partition(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random hashing is only balanced in expectation; allow slack.
+	capC := int(1.1 * float64(partition.Capacity(g.NumEdges(), p)))
+	stats, err := Consolidate(g, a, Options{Capacity: capC, MaxPasses: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("refinement did not improve random partitioning: %.3f -> %.3f", before, after)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{Capacity: capC}); err != nil {
+		t.Fatalf("refined assignment invalid: %v", err)
+	}
+	t.Logf("random RF %.3f -> %.3f (%d moves, %d replicas removed)",
+		before, after, stats.Moves, stats.ReplicasRemoved)
+}
+
+func TestConsolidateOnTLPIsNearNoop(t *testing.T) {
+	// TLP output is already locally consolidated; refinement should find
+	// little and never hurt.
+	g := randomGraph(4, 300, 900)
+	a, err := core.MustNew(core.Options{Seed: 5}).Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Consolidate(g, a, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := partition.ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-12 {
+		t.Fatalf("refinement worsened RF: %.4f -> %.4f", before, after)
+	}
+}
+
+// Property: Consolidate never increases RF, never breaks completeness, and
+// respects the capacity it is given.
+func TestConsolidateSafetyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(80)
+		g := randomGraph(seed, n, r.Intn(3*n))
+		p := 2 + r.Intn(5)
+		a := partition.MustNew(g.NumEdges(), p)
+		for id := 0; id < g.NumEdges(); id++ {
+			a.Assign(graph.EdgeID(id), r.Intn(p))
+		}
+		before, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			return false
+		}
+		capC := a.MaxLoad() + 3 // whatever the random loads are, plus room
+		if _, err := Consolidate(g, a, Options{Capacity: capC}); err != nil {
+			return false
+		}
+		after, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			return false
+		}
+		if after > before+1e-12 {
+			return false
+		}
+		return partition.Validate(g, a, partition.ValidateOptions{Capacity: capC}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConsolidate(b *testing.B) {
+	g := gen.ChungLu(gen.ChungLuConfig{Vertices: 5000, TargetEdges: 25000, Exponent: 2.1}, rng.New(6))
+	base, err := streaming.NewRandom(7).Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capC := int(1.1 * float64(partition.Capacity(g.NumEdges(), 8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base.Clone()
+		if _, err := Consolidate(g, a, Options{Capacity: capC}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package streaming implements the streaming baselines of the paper's
+// evaluation — LDG, DBH and Random — plus the standard streaming edge
+// partitioners PowerGraph-Greedy and HDRF as extensions.
+//
+// Edge streamers (Random, DBH, Greedy, HDRF) place each edge as it arrives
+// and never move it. Vertex streamers (LDG, FENNEL) place vertices and the
+// edge placement is derived the same way as for the METIS baseline. All
+// algorithms are deterministic for a fixed seed; the stream order is a
+// seeded shuffle of the edge list unless configured otherwise.
+package streaming
+
+import (
+	"fmt"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// Order selects how the stream is sequenced.
+type Order int
+
+const (
+	// OrderShuffled streams edges/vertices in a seeded random order
+	// (the common evaluation setting; arrival order is adversarial
+	// otherwise).
+	OrderShuffled Order = iota + 1
+	// OrderNatural streams in EdgeID/vertex-id order.
+	OrderNatural
+	// OrderBFS streams in breadth-first order from a seeded random root,
+	// component by component (matches how crawled graphs arrive).
+	OrderBFS
+)
+
+// EdgeStream yields the graph's EdgeIDs in the given order; exported for
+// the sliding-window partitioner and tests.
+func EdgeStream(g *graph.Graph, ord Order, seed uint64) []graph.EdgeID {
+	m := g.NumEdges()
+	ids := make([]graph.EdgeID, m)
+	for i := range ids {
+		ids[i] = graph.EdgeID(i)
+	}
+	switch ord {
+	case OrderNatural:
+	case OrderBFS:
+		ids = ids[:0]
+		r := rng.New(seed)
+		seen := make([]bool, m)
+		order := vertexBFSOrder(g, r)
+		for _, v := range order {
+			for _, eid := range g.IncidentEdges(v) {
+				if !seen[eid] {
+					seen[eid] = true
+					ids = append(ids, eid)
+				}
+			}
+		}
+	default: // OrderShuffled
+		r := rng.New(seed)
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	}
+	return ids
+}
+
+// vertexBFSOrder returns all vertices in BFS order from random roots.
+func vertexBFSOrder(g *graph.Graph, r *rng.RNG) []graph.Vertex {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	order := make([]graph.Vertex, 0, n)
+	perm := r.Perm(n)
+	var queue []graph.Vertex
+	for _, root := range perm {
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		queue = append(queue[:0], graph.Vertex(root))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range g.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// replicaSets tracks, per vertex, the set of partitions holding a replica.
+// Partition counts in this repository are small (p <= 64 covers the paper's
+// 10-20), so a bitset per vertex suffices; larger p falls back to maps.
+type replicaSets struct {
+	p    int
+	bits []uint64           // used when p <= 64
+	maps []map[int]struct{} // used when p > 64
+}
+
+func newReplicaSets(n, p int) *replicaSets {
+	rs := &replicaSets{p: p}
+	if p <= 64 {
+		rs.bits = make([]uint64, n)
+	} else {
+		rs.maps = make([]map[int]struct{}, n)
+	}
+	return rs
+}
+
+func (rs *replicaSets) add(v graph.Vertex, k int) {
+	if rs.bits != nil {
+		rs.bits[v] |= 1 << uint(k)
+		return
+	}
+	if rs.maps[v] == nil {
+		rs.maps[v] = make(map[int]struct{}, 4)
+	}
+	rs.maps[v][k] = struct{}{}
+}
+
+func (rs *replicaSets) has(v graph.Vertex, k int) bool {
+	if rs.bits != nil {
+		return rs.bits[v]&(1<<uint(k)) != 0
+	}
+	_, ok := rs.maps[v][k]
+	return ok
+}
+
+func (rs *replicaSets) count(v graph.Vertex) int {
+	if rs.bits != nil {
+		c := 0
+		for b := rs.bits[v]; b != 0; b &= b - 1 {
+			c++
+		}
+		return c
+	}
+	return len(rs.maps[v])
+}
+
+// common validates inputs shared by all partitioners here.
+func validateInput(g *graph.Graph, p int) error {
+	if g == nil {
+		return fmt.Errorf("streaming: nil graph")
+	}
+	if p < 1 {
+		return fmt.Errorf("streaming: need at least one partition, got %d", p)
+	}
+	return nil
+}
+
+// Random assigns each edge to a uniformly random partition (hash of the
+// edge id), the paper's lower-bound baseline.
+type Random struct {
+	seed uint64
+}
+
+var _ partition.Partitioner = (*Random)(nil)
+
+// NewRandom returns the Random baseline.
+func NewRandom(seed uint64) *Random { return &Random{seed: seed} }
+
+// Name implements partition.Partitioner.
+func (x *Random) Name() string { return "Random" }
+
+// Partition implements partition.Partitioner.
+func (x *Random) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		k := int(rng.Hash2(x.seed, uint64(id)) % uint64(p))
+		a.Assign(graph.EdgeID(id), k)
+	}
+	return a, nil
+}
+
+// DBH is degree-based hashing (Xie et al., NIPS 2014): each edge is hashed
+// on its lower-degree endpoint, so high-degree vertices are the ones that
+// get replicated — the cheap strategy for power-law graphs.
+type DBH struct {
+	seed uint64
+}
+
+var _ partition.Partitioner = (*DBH)(nil)
+
+// NewDBH returns the DBH baseline.
+func NewDBH(seed uint64) *DBH { return &DBH{seed: seed} }
+
+// Name implements partition.Partitioner.
+func (x *DBH) Name() string { return "DBH" }
+
+// Partition implements partition.Partitioner.
+func (x *DBH) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	for id, e := range g.Edges() {
+		lo := e.U
+		if g.Degree(e.V) < g.Degree(e.U) ||
+			(g.Degree(e.V) == g.Degree(e.U) && e.V < e.U) {
+			lo = e.V
+		}
+		k := int(rng.Hash2(x.seed, uint64(lo)) % uint64(p))
+		a.Assign(graph.EdgeID(id), k)
+	}
+	return a, nil
+}
+
+// Greedy is the PowerGraph streaming heuristic (Gonzalez et al., OSDI 2012):
+// place each arriving edge by the replica-overlap case analysis, breaking
+// ties toward the least-loaded partition.
+type Greedy struct {
+	seed  uint64
+	order Order
+}
+
+var _ partition.Partitioner = (*Greedy)(nil)
+
+// NewGreedy returns the PowerGraph-style greedy streamer.
+func NewGreedy(seed uint64, order Order) *Greedy {
+	if order == 0 {
+		order = OrderShuffled
+	}
+	return &Greedy{seed: seed, order: order}
+}
+
+// Name implements partition.Partitioner.
+func (x *Greedy) Name() string { return "Greedy" }
+
+// Partition implements partition.Partitioner.
+func (x *Greedy) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	rs := newReplicaSets(g.NumVertices(), p)
+	for _, eid := range EdgeStream(g, x.order, x.seed) {
+		e := g.Edge(eid)
+		k := greedyChoose(a, rs, e, p)
+		a.Assign(eid, k)
+		rs.add(e.U, k)
+		rs.add(e.V, k)
+	}
+	return a, nil
+}
+
+// greedyChoose applies the PowerGraph case analysis for edge e.
+func greedyChoose(a *partition.Assignment, rs *replicaSets, e graph.Edge, p int) int {
+	cu, cv := rs.count(e.U), rs.count(e.V)
+	switch {
+	case cu > 0 && cv > 0:
+		// Case 1: intersection -> least-loaded common partition.
+		best, found := -1, false
+		for k := 0; k < p; k++ {
+			if rs.has(e.U, k) && rs.has(e.V, k) {
+				if !found || a.Load(k) < a.Load(best) {
+					best, found = k, true
+				}
+			}
+		}
+		if found {
+			return best
+		}
+		// Case 2: disjoint -> a partition of the vertex with more
+		// unplaced... PowerGraph: choose from the sets of the vertex
+		// with the most remaining edges; we approximate with the
+		// least-loaded partition among the union.
+		for k := 0; k < p; k++ {
+			if rs.has(e.U, k) || rs.has(e.V, k) {
+				if best == -1 || a.Load(k) < a.Load(best) {
+					best = k
+				}
+			}
+		}
+		return best
+	case cu > 0 || cv > 0:
+		// Case 3: one placed vertex -> its least-loaded partition.
+		v := e.U
+		if cv > 0 {
+			v = e.V
+		}
+		best := -1
+		for k := 0; k < p; k++ {
+			if rs.has(v, k) {
+				if best == -1 || a.Load(k) < a.Load(best) {
+					best = k
+				}
+			}
+		}
+		return best
+	default:
+		// Case 4: both new -> least-loaded partition overall.
+		best := 0
+		for k := 1; k < p; k++ {
+			if a.Load(k) < a.Load(best) {
+				best = k
+			}
+		}
+		return best
+	}
+}
+
+// HDRF is the High-Degree Replicated First streamer (Petroni et al., CIKM
+// 2015): like Greedy but the replica-affinity score discounts the
+// high-degree endpoint, plus an explicit load-balance term weighted by
+// Lambda.
+type HDRF struct {
+	seed   uint64
+	order  Order
+	lambda float64
+}
+
+var _ partition.Partitioner = (*HDRF)(nil)
+
+// NewHDRF returns an HDRF streamer; lambda <= 0 defaults to 1.0.
+func NewHDRF(seed uint64, order Order, lambda float64) *HDRF {
+	if order == 0 {
+		order = OrderShuffled
+	}
+	if lambda <= 0 {
+		lambda = 1.0
+	}
+	return &HDRF{seed: seed, order: order, lambda: lambda}
+}
+
+// Name implements partition.Partitioner.
+func (x *HDRF) Name() string { return "HDRF" }
+
+// Partition implements partition.Partitioner.
+func (x *HDRF) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(g.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	rs := newReplicaSets(g.NumVertices(), p)
+	// Partial degrees observed so far in the stream (the streaming
+	// setting does not know final degrees).
+	pdeg := make([]int32, g.NumVertices())
+	for _, eid := range EdgeStream(g, x.order, x.seed) {
+		e := g.Edge(eid)
+		pdeg[e.U]++
+		pdeg[e.V]++
+		k := x.choose(a, rs, e, p, pdeg)
+		a.Assign(eid, k)
+		rs.add(e.U, k)
+		rs.add(e.V, k)
+	}
+	return a, nil
+}
+
+func (x *HDRF) choose(a *partition.Assignment, rs *replicaSets, e graph.Edge, p int, pdeg []int32) int {
+	du, dv := float64(pdeg[e.U]), float64(pdeg[e.V])
+	thetaU := du / (du + dv)
+	thetaV := 1 - thetaU
+	maxLoad, minLoad := 0, a.Load(0)
+	for k := 0; k < p; k++ {
+		l := a.Load(k)
+		if l > maxLoad {
+			maxLoad = l
+		}
+		if l < minLoad {
+			minLoad = l
+		}
+	}
+	best, bestScore := 0, -1.0
+	for k := 0; k < p; k++ {
+		var crep float64
+		if rs.has(e.U, k) {
+			crep += 1 + (1 - thetaU)
+		}
+		if rs.has(e.V, k) {
+			crep += 1 + (1 - thetaV)
+		}
+		denom := float64(maxLoad - minLoad)
+		if denom < 1 {
+			denom = 1
+		}
+		cbal := x.lambda * float64(maxLoad-a.Load(k)) / denom
+		if score := crep + cbal; score > bestScore {
+			best, bestScore = k, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,184 @@
+package streaming
+
+import (
+	"math"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// LDG is the Linear Deterministic Greedy streaming vertex partitioner
+// (Stanton & Kliot, KDD 2012): each arriving vertex goes to the partition
+// holding most of its already-placed neighbours, damped by a load penalty
+// (1 - |P_i| / C). The edge partitioning is then derived from the vertex
+// partition the same way as for METIS.
+type LDG struct {
+	seed  uint64
+	order Order
+}
+
+var _ partition.Partitioner = (*LDG)(nil)
+
+// NewLDG returns an LDG streamer.
+func NewLDG(seed uint64, order Order) *LDG {
+	if order == 0 {
+		order = OrderShuffled
+	}
+	return &LDG{seed: seed, order: order}
+}
+
+// Name implements partition.Partitioner.
+func (x *LDG) Name() string { return "LDG" }
+
+// Partition implements partition.Partitioner.
+func (x *LDG) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	labels, err := x.VertexPartition(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return metis.DeriveEdgePartition(g, labels, p)
+}
+
+// VertexPartition streams the vertices and returns their part labels.
+func (x *LDG) VertexPartition(g *graph.Graph, p int) ([]int32, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	capV := float64(n)/float64(p) + 1
+	loads := make([]int, p)
+	nbrIn := make([]int, p)
+	for _, v := range x.vertexOrder(g) {
+		for k := range nbrIn {
+			nbrIn[k] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if l := labels[u]; l >= 0 {
+				nbrIn[l]++
+			}
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for k := 0; k < p; k++ {
+			score := float64(nbrIn[k]) * (1 - float64(loads[k])/capV)
+			if loads[k] >= int(capV) {
+				score = math.Inf(-1) // full
+			}
+			if score > bestScore || (score == bestScore && loads[k] < loads[best]) {
+				best, bestScore = k, score
+			}
+		}
+		labels[v] = int32(best)
+		loads[best]++
+	}
+	return labels, nil
+}
+
+func (x *LDG) vertexOrder(g *graph.Graph) []graph.Vertex {
+	n := g.NumVertices()
+	switch x.order {
+	case OrderNatural:
+		out := make([]graph.Vertex, n)
+		for i := range out {
+			out[i] = graph.Vertex(i)
+		}
+		return out
+	case OrderBFS:
+		return vertexBFSOrder(g, rng.New(x.seed))
+	default:
+		r := rng.New(x.seed)
+		perm := r.Perm(n)
+		out := make([]graph.Vertex, n)
+		for i, v := range perm {
+			out[i] = graph.Vertex(v)
+		}
+		return out
+	}
+}
+
+// FENNEL is the single-pass streaming vertex partitioner of Tsourakakis et
+// al. (WSDM 2014): score(v, P_i) = |N(v) ∩ P_i| - alpha*gamma*|P_i|^(gamma-1)
+// with gamma = 1.5 and alpha chosen from the graph size.
+type FENNEL struct {
+	seed  uint64
+	order Order
+	gamma float64
+}
+
+var _ partition.Partitioner = (*FENNEL)(nil)
+
+// NewFENNEL returns a FENNEL streamer; gamma <= 1 defaults to 1.5.
+func NewFENNEL(seed uint64, order Order, gamma float64) *FENNEL {
+	if order == 0 {
+		order = OrderShuffled
+	}
+	if gamma <= 1 {
+		gamma = 1.5
+	}
+	return &FENNEL{seed: seed, order: order, gamma: gamma}
+}
+
+// Name implements partition.Partitioner.
+func (x *FENNEL) Name() string { return "FENNEL" }
+
+// Partition implements partition.Partitioner.
+func (x *FENNEL) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
+	labels, err := x.VertexPartition(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return metis.DeriveEdgePartition(g, labels, p)
+}
+
+// VertexPartition streams the vertices and returns their part labels.
+func (x *FENNEL) VertexPartition(g *graph.Graph, p int) ([]int32, error) {
+	if err := validateInput(g, p); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	m := g.NumEdges()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	gamma := x.gamma
+	alpha := math.Sqrt(float64(p)) * float64(m) / math.Pow(float64(n), gamma)
+	if alpha <= 0 || math.IsNaN(alpha) {
+		alpha = 1
+	}
+	// Hard cap keeps the derived edge partition from degenerating when
+	// the penalty term underflows: nu * n/p vertices per part.
+	const nu = 1.1
+	capV := int(nu*float64(n)/float64(p)) + 1
+	loads := make([]int, p)
+	nbrIn := make([]int, p)
+	ldg := LDG{seed: x.seed, order: x.order}
+	for _, v := range ldg.vertexOrder(g) {
+		for k := range nbrIn {
+			nbrIn[k] = 0
+		}
+		for _, u := range g.Neighbors(v) {
+			if l := labels[u]; l >= 0 {
+				nbrIn[l]++
+			}
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for k := 0; k < p; k++ {
+			if loads[k] >= capV {
+				continue
+			}
+			score := float64(nbrIn[k]) - alpha*gamma*math.Pow(float64(loads[k]), gamma-1)
+			if score > bestScore || (score == bestScore && loads[k] < loads[best]) {
+				best, bestScore = k, score
+			}
+		}
+		labels[v] = int32(best)
+		loads[best]++
+	}
+	return labels, nil
+}

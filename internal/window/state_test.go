@@ -1,0 +1,130 @@
+package window
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+func feed(st *windowState, edges ...[3]int32) {
+	for _, e := range edges {
+		st.addEdge(StreamEdge{ID: graph.EdgeID(e[0]), U: e[1], V: e[2]})
+	}
+}
+
+func TestStateAddAndAbsorb(t *testing.T) {
+	st := newWindowState(4, 1)
+	st.beginPartition()
+	feed(st, [3]int32{0, 0, 1}, [3]int32{1, 1, 2}, [3]int32{2, 2, 3})
+	if st.windowEdges != 3 {
+		t.Fatalf("window edges %d", st.windowEdges)
+	}
+	a := partition.MustNew(3, 2)
+	// Absorb vertex 1 as the seed: no members yet, so nothing assigned,
+	// and the frontier gains 0 and 2.
+	if n := st.absorb(1, a, 0, 10); n != 0 {
+		t.Fatalf("seed absorb assigned %d", n)
+	}
+	if !st.isMember(1) {
+		t.Fatal("seed not a member")
+	}
+	if st.eout != 2 {
+		t.Fatalf("eout %d, want 2", st.eout)
+	}
+	// Absorb 0: edge (0,1) assigned.
+	if n := st.absorb(0, a, 0, 10); n != 1 {
+		t.Fatalf("absorb(0) assigned %d", n)
+	}
+	if k, ok := a.PartitionOf(0); !ok || k != 0 {
+		t.Fatal("edge 0 not in partition 0")
+	}
+	if st.windowEdges != 2 {
+		t.Fatalf("window edges %d after assignment", st.windowEdges)
+	}
+}
+
+func TestStateCapacityPartialAbsorb(t *testing.T) {
+	// Triangle: absorbing the third vertex with room=1 must assign only
+	// one of its two member edges and not mark it a member.
+	st := newWindowState(3, 2)
+	st.beginPartition()
+	feed(st, [3]int32{0, 0, 1}, [3]int32{1, 1, 2}, [3]int32{2, 0, 2})
+	a := partition.MustNew(3, 1)
+	st.absorb(0, a, 0, 10)
+	st.absorb(1, a, 0, 10)
+	if n := st.absorb(2, a, 0, 1); n != 1 {
+		t.Fatalf("room-limited absorb assigned %d", n)
+	}
+	if st.isMember(2) {
+		t.Fatal("partially absorbed vertex recorded as member")
+	}
+}
+
+func TestStateMemberMemberEdges(t *testing.T) {
+	// Edge arriving between two existing members is picked up by
+	// absorbMemberEdges.
+	st := newWindowState(3, 3)
+	st.beginPartition()
+	feed(st, [3]int32{0, 0, 1})
+	a := partition.MustNew(2, 1)
+	st.absorb(0, a, 0, 10)
+	st.absorb(1, a, 0, 10)
+	// Late edge between members 0..1? Use vertex 2: make it a member too,
+	// then deliver an edge between members.
+	st.absorb(2, a, 0, 10) // isolated vertex becomes member, no edges
+	feed(st, [3]int32{1, 1, 2})
+	if n := st.absorbMemberEdges(a, 0, 10); n != 1 {
+		t.Fatalf("absorbMemberEdges assigned %d, want 1", n)
+	}
+	if k, ok := a.PartitionOf(1); !ok || k != 0 {
+		t.Fatal("member-member edge not assigned")
+	}
+	if st.absorbMemberEdges(a, 0, 0) != 0 {
+		t.Fatal("zero room should assign nothing")
+	}
+}
+
+func TestStateCompact(t *testing.T) {
+	st := newWindowState(4, 4)
+	st.beginPartition()
+	feed(st, [3]int32{0, 0, 1}, [3]int32{1, 0, 2}, [3]int32{2, 0, 3})
+	a := partition.MustNew(3, 1)
+	st.absorb(1, a, 0, 10)
+	st.absorb(0, a, 0, 10) // assigns (0,1)
+	st.absorb(2, a, 0, 10) // assigns (0,2)
+	st.absorb(3, a, 0, 10) // assigns (0,3); vertex 0's arcs now all dead
+	if deg := st.liveDeg[0]; deg != 0 {
+		t.Fatalf("liveDeg[0] = %d after everything assigned", deg)
+	}
+	// compact removed the exhausted adjacency entirely.
+	if _, ok := st.adj[0]; ok && len(st.adj[0]) > 0 {
+		for _, arc := range st.adj[0] {
+			if !arc.dead {
+				t.Fatal("live arc survived full absorption")
+			}
+		}
+	}
+}
+
+func TestStatePickSeed(t *testing.T) {
+	st := newWindowState(3, 5)
+	st.beginPartition()
+	if _, ok := st.pickSeed(); ok {
+		t.Fatal("empty window produced a seed")
+	}
+	feed(st, [3]int32{0, 1, 2})
+	v, ok := st.pickSeed()
+	if !ok || (v != 1 && v != 2) {
+		t.Fatalf("seed %d, ok=%v", v, ok)
+	}
+	a := partition.MustNew(1, 1)
+	st.absorb(1, a, 0, 10)
+	st.absorb(2, a, 0, 10)
+	if _, ok := st.pickSeed(); ok {
+		t.Fatal("all-member window produced a seed")
+	}
+	if st.pickSeedPeek() {
+		t.Fatal("peek found a seed among members")
+	}
+}

@@ -1,0 +1,212 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/graphpart/graphpart/internal/core"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/streaming"
+)
+
+func randomGraph(seed uint64, n, extra int) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		_ = b.AddEdge(graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestWindowComplete(t *testing.T) {
+	g := randomGraph(1, 300, 900)
+	for _, p := range []int{1, 2, 5, 10} {
+		a, err := New(Config{Seed: 2}).Partition(g, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// Window rounds can overshoot only via the final sweep; allow a
+		// modest slack.
+		if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+			t.Fatalf("p=%d invalid: %v", p, err)
+		}
+	}
+}
+
+func TestWindowEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	a, err := New(Config{}).Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != 0 {
+		t.Fatal("nonempty assignment for empty graph")
+	}
+	if _, err := New(Config{}).Partition(nil, 2); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestWindowTinyWindow(t *testing.T) {
+	// Even a pathologically small window must produce a complete valid
+	// assignment (quality degrades, correctness does not).
+	g := randomGraph(3, 200, 600)
+	a, err := New(Config{Seed: 4, WindowEdges: 20}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+		t.Fatalf("tiny window invalid: %v", err)
+	}
+}
+
+func TestWindowOrders(t *testing.T) {
+	g := randomGraph(5, 150, 450)
+	for _, ord := range []streaming.Order{streaming.OrderBFS, streaming.OrderShuffled, streaming.OrderNatural} {
+		a, err := New(Config{Seed: 6, Order: ord}).Partition(g, 3)
+		if err != nil {
+			t.Fatalf("order %d: %v", ord, err)
+		}
+		if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+			t.Fatalf("order %d invalid: %v", ord, err)
+		}
+	}
+}
+
+func TestWindowDisconnected(t *testing.T) {
+	b := graph.NewBuilder(30)
+	for i := 0; i < 10; i++ {
+		v := graph.Vertex(3 * i)
+		_ = b.AddEdge(v, v+1)
+		_ = b.AddEdge(v+1, v+2)
+		_ = b.AddEdge(v, v+2)
+	}
+	g := b.Build()
+	a, err := New(Config{Seed: 7}).Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+		t.Fatalf("disconnected invalid: %v", err)
+	}
+}
+
+// TestWindowQualityBetweenStreamingAndTLP: the design intent — a generous
+// window should put TLP-SW's quality between edge-at-a-time streaming
+// (DBH) and full TLP on a community-structured graph.
+func TestWindowQualityBetweenStreamingAndTLP(t *testing.T) {
+	g := gen.PlantedCommunities(gen.CommunityConfig{
+		Vertices: 800, Communities: 16, TargetEdges: 8000, IntraFraction: 0.8,
+	}, rng.New(8))
+	p := 8
+	rfOf := func(pt partition.Partitioner) float64 {
+		a, err := pt.Partition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	rfTLP := rfOf(core.MustNew(core.Options{Seed: 9}))
+	rfSW := rfOf(New(Config{Seed: 9}))
+	rfDBH := rfOf(streaming.NewDBH(9))
+	t.Logf("TLP=%.3f TLP-SW=%.3f DBH=%.3f", rfTLP, rfSW, rfDBH)
+	if rfSW >= rfDBH {
+		t.Fatalf("sliding window RF %.3f not below DBH %.3f", rfSW, rfDBH)
+	}
+	if rfSW > 2.0*rfTLP {
+		t.Fatalf("sliding window RF %.3f too far above full TLP %.3f", rfSW, rfTLP)
+	}
+}
+
+// TestWindowWiderIsBetter: growing the window should not hurt quality much;
+// typically it helps. Assert the generous window is at least not worse than
+// the starved one by a large margin.
+func TestWindowWiderIsBetter(t *testing.T) {
+	g := gen.PowerLawCommunities(gen.PowerLawCommunityConfig{
+		Vertices: 2000, TargetEdges: 16000, Exponent: 2.1, IntraFraction: 0.55,
+	}, rng.New(10))
+	p := 8
+	rfAt := func(window int) float64 {
+		a, err := New(Config{Seed: 11, WindowEdges: window}).Partition(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+	narrow := rfAt(200)
+	wide := rfAt(4 * partition.Capacity(g.NumEdges(), p))
+	t.Logf("narrow window RF=%.3f wide RF=%.3f", narrow, wide)
+	if wide > narrow*1.15 {
+		t.Fatalf("wide window much worse than narrow: %.3f vs %.3f", wide, narrow)
+	}
+}
+
+func TestWindowStreamAPIDirect(t *testing.T) {
+	g := randomGraph(12, 100, 200)
+	stream := make(chan StreamEdge, 16)
+	go func() {
+		defer close(stream)
+		for id, e := range g.Edges() {
+			stream <- StreamEdge{ID: graph.EdgeID(id), U: e.U, V: e.V}
+		}
+	}()
+	a, err := New(Config{Seed: 13}).PartitionStream(stream, g.NumVertices(), g.NumEdges(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+		t.Fatalf("stream API invalid: %v", err)
+	}
+}
+
+func TestWindowRejectsBadP(t *testing.T) {
+	stream := make(chan StreamEdge)
+	close(stream)
+	if _, err := New(Config{}).PartitionStream(stream, 5, 0, 0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+// Property: TLP-SW always produces a complete assignment for random graphs,
+// random window sizes and partition counts.
+func TestWindowValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(100)
+		g := randomGraph(seed, n, r.Intn(3*n))
+		p := 1 + r.Intn(6)
+		win := 16 + r.Intn(400)
+		a, err := New(Config{Seed: seed, WindowEdges: win}).Partition(g, p)
+		if err != nil {
+			return false
+		}
+		return partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 2.0}) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWindow(b *testing.B) {
+	g := gen.ChungLu(gen.ChungLuConfig{Vertices: 10000, TargetEdges: 50000, Exponent: 2.1}, rng.New(14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{Seed: uint64(i)}).Partition(g, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

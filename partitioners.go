@@ -1,0 +1,91 @@
+package graphpart
+
+import (
+	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/streaming"
+	"github.com/graphpart/graphpart/internal/window"
+)
+
+// METISConfig tunes the multilevel baseline partitioner.
+type METISConfig = metis.Config
+
+// StreamOrder selects how streaming partitioners sequence their input.
+type StreamOrder = streaming.Order
+
+// Stream orders re-exported from the streaming package.
+const (
+	// OrderShuffled streams in a seeded random order (default).
+	OrderShuffled = streaming.OrderShuffled
+	// OrderNatural streams in id order.
+	OrderNatural = streaming.OrderNatural
+	// OrderBFS streams in breadth-first order from random roots.
+	OrderBFS = streaming.OrderBFS
+)
+
+// NewMETIS returns the METIS-style multilevel offline baseline: heavy-edge
+// matching coarsening, greedy-growing initial bisection, FM refinement,
+// recursive bisection for k parts, and balanced edge derivation.
+func NewMETIS(cfg METISConfig) Partitioner { return metis.New(cfg) }
+
+// NewLDG returns the Linear Deterministic Greedy streaming vertex
+// partitioner (Stanton & Kliot, KDD 2012) with derived edge placement.
+func NewLDG(seed uint64, order StreamOrder) Partitioner {
+	return streaming.NewLDG(seed, order)
+}
+
+// NewFENNEL returns the FENNEL streaming vertex partitioner (Tsourakakis et
+// al., WSDM 2014); gamma <= 1 selects the canonical 1.5.
+func NewFENNEL(seed uint64, order StreamOrder, gamma float64) Partitioner {
+	return streaming.NewFENNEL(seed, order, gamma)
+}
+
+// NewDBH returns the degree-based hashing edge partitioner (Xie et al.,
+// NIPS 2014).
+func NewDBH(seed uint64) Partitioner { return streaming.NewDBH(seed) }
+
+// NewRandom returns the uniform random edge partitioner (the paper's
+// lower-bound baseline).
+func NewRandom(seed uint64) Partitioner { return streaming.NewRandom(seed) }
+
+// NewGreedy returns the PowerGraph greedy streaming edge partitioner
+// (Gonzalez et al., OSDI 2012).
+func NewGreedy(seed uint64, order StreamOrder) Partitioner {
+	return streaming.NewGreedy(seed, order)
+}
+
+// NewHDRF returns the High-Degree Replicated First streaming edge
+// partitioner (Petroni et al., CIKM 2015); lambda <= 0 selects 1.0.
+func NewHDRF(seed uint64, order StreamOrder, lambda float64) Partitioner {
+	return streaming.NewHDRF(seed, order, lambda)
+}
+
+// SlidingWindowConfig tunes the sliding-window TLP variant (the paper's
+// future-work extension).
+type SlidingWindowConfig = window.Config
+
+// NewSlidingTLP returns the sliding-window TLP variant: it partitions an
+// edge stream holding only a bounded window of unassigned edges in memory
+// (Section V future work of the paper).
+func NewSlidingTLP(cfg SlidingWindowConfig) Partitioner { return window.New(cfg) }
+
+// NewFlatKL returns the non-multilevel offline baseline (greedy growing plus
+// FM refinement on the full graph) — the classic Kernighan-Lin-family
+// approach the paper cites; exists as the multilevel-vs-flat ablation.
+func NewFlatKL(cfg METISConfig) Partitioner { return metis.NewFlatKL(cfg) }
+
+// AllPartitioners returns one instance of every partitioner in this library
+// keyed by lower-case name; handy for CLIs and comparisons.
+func AllPartitioners(seed uint64) map[string]Partitioner {
+	return map[string]Partitioner{
+		"tlp":    NewTLP(TLPOptions{Seed: seed}),
+		"metis":  NewMETIS(METISConfig{Seed: seed}),
+		"ldg":    NewLDG(seed, OrderShuffled),
+		"fennel": NewFENNEL(seed, OrderShuffled, 0),
+		"dbh":    NewDBH(seed),
+		"random": NewRandom(seed),
+		"greedy": NewGreedy(seed, OrderShuffled),
+		"hdrf":   NewHDRF(seed, OrderShuffled, 0),
+		"tlpsw":  NewSlidingTLP(SlidingWindowConfig{Seed: seed}),
+		"kl":     NewFlatKL(METISConfig{Seed: seed}),
+	}
+}
