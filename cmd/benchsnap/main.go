@@ -1,0 +1,245 @@
+// Command benchsnap measures the performance and quality of every
+// (dataset, algorithm, p) cell of the paper's evaluation grid and writes a
+// machine-diffable JSON snapshot. The committed BENCH_baseline.json is the
+// reference every later performance PR is judged against: rerun benchsnap on
+// the changed tree and diff seconds/allocs cell by cell.
+//
+// Usage:
+//
+//	benchsnap                          # full grid -> BENCH_baseline.json
+//	benchsnap -quick -out /tmp/b.json  # ~10% scale datasets, seconds
+//	benchsnap -datasets G1,G2 -ps 10   # restrict the grid
+//
+// Cells run strictly sequentially so per-cell seconds and allocation deltas
+// are not distorted by concurrent cells. The snapshot additionally times the
+// fig8 harness end to end at Workers=1 versus Workers=N (the parallel
+// execution layer) and records the speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/parallel"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// Cell is one sequentially-measured grid entry.
+type Cell struct {
+	Dataset    string  `json:"dataset"`
+	Algorithm  string  `json:"algorithm"`
+	P          int     `json:"p"`
+	Seconds    float64 `json:"seconds"`
+	RF         float64 `json:"rf"`
+	Balance    float64 `json:"balance"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Mallocs    uint64  `json:"mallocs"`
+}
+
+// HarnessTiming compares the fig8 experiment wall-clock with and without the
+// parallel execution layer.
+type HarnessTiming struct {
+	Experiment        string  `json:"experiment"`
+	Workers           int     `json:"workers"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// Snapshot is the JSON document benchsnap writes.
+type Snapshot struct {
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	GoVersion   string        `json:"go_version"`
+	Seed        uint64        `json:"seed"`
+	Quick       bool          `json:"quick"`
+	GeneratedAt string        `json:"generated_at"`
+	Cells       []Cell        `json:"cells"`
+	Harness     HarnessTiming `json:"harness"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	var (
+		out     = fs.String("out", "BENCH_baseline.json", "output JSON path")
+		seed    = fs.Uint64("seed", 42, "random seed for datasets and algorithms")
+		quick   = fs.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
+		only    = fs.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
+		psFlag  = fs.String("ps", "", "comma-separated partition counts (default 10,15,20; 4,6,8 with -quick)")
+		workers = fs.Int("workers", 0, "worker count for the parallel harness timing (0 = GRAPHPART_WORKERS or GOMAXPROCS)")
+		skipFig = fs.Bool("skip-harness", false, "skip the fig8 sequential-vs-parallel harness timing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	datasets := gen.Datasets()
+	ps := []int{10, 15, 20}
+	if *quick {
+		datasets = gen.SmallDatasets()
+		ps = []int{4, 6, 8}
+	}
+	if *only != "" {
+		var keep []gen.Dataset
+		for _, want := range strings.Split(*only, ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, d := range datasets {
+				if d.Notation == want {
+					keep = append(keep, d)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown dataset %q", want)
+			}
+		}
+		datasets = keep
+	}
+	if *psFlag != "" {
+		ps = ps[:0]
+		for _, s := range strings.Split(*psFlag, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				return fmt.Errorf("bad partition count %q", s)
+			}
+			ps = append(ps, p)
+		}
+	}
+
+	snap := Snapshot{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Seed:        *seed,
+		Quick:       *quick,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	fmt.Fprintf(logw, "generating %d datasets (seed %d)...\n", len(datasets), *seed)
+	built := harnessGraphs(datasets, *seed)
+
+	algs := harness.Algorithms(*seed)
+	for _, p := range ps {
+		for _, d := range datasets {
+			g := built[d.Notation]
+			for ai := range algs {
+				// A fresh roster per cell: partitioners are cheap to
+				// construct and this mirrors the parallel harness.
+				alg := harness.Algorithms(*seed)[ai]
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				a, err := alg.Partition(g, p)
+				elapsed := time.Since(start).Seconds()
+				if err != nil {
+					return fmt.Errorf("%s on %s p=%d: %w", alg.Name(), d.Notation, p, err)
+				}
+				runtime.ReadMemStats(&after)
+				m, err := partition.Compute(g, a)
+				if err != nil {
+					return fmt.Errorf("metrics for %s on %s p=%d: %w", alg.Name(), d.Notation, p, err)
+				}
+				snap.Cells = append(snap.Cells, Cell{
+					Dataset:    d.Notation,
+					Algorithm:  alg.Name(),
+					P:          p,
+					Seconds:    elapsed,
+					RF:         m.ReplicationFactor,
+					Balance:    m.Balance,
+					AllocBytes: after.TotalAlloc - before.TotalAlloc,
+					Mallocs:    after.Mallocs - before.Mallocs,
+				})
+				fmt.Fprintf(logw, "%s %s p=%d: %.3fs RF=%.3f\n", d.Notation, alg.Name(), p, elapsed, m.ReplicationFactor)
+			}
+		}
+	}
+
+	if !*skipFig {
+		w := parallel.Workers(*workers)
+		fmt.Fprintf(logw, "timing fig8 harness: Workers=1 vs Workers=%d...\n", w)
+		seqSecs, err := timeFig8(datasets, ps, *seed, 1)
+		if err != nil {
+			return err
+		}
+		parSecs, err := timeFig8(datasets, ps, *seed, w)
+		if err != nil {
+			return err
+		}
+		snap.Harness = HarnessTiming{
+			Experiment:        "fig8",
+			Workers:           w,
+			SequentialSeconds: seqSecs,
+			ParallelSeconds:   parSecs,
+			Speedup:           seqSecs / parSecs,
+		}
+		fmt.Fprintf(logw, "fig8: %.2fs sequential, %.2fs with %d workers (%.2fx)\n",
+			seqSecs, parSecs, w, snap.Harness.Speedup)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "wrote %s (%d cells)\n", *out, len(snap.Cells))
+	return nil
+}
+
+// harnessGraphs generates every dataset once up front (sequentially, so
+// generation time does not leak into the first cell's measurement).
+func harnessGraphs(datasets []gen.Dataset, seed uint64) map[string]*graph.Graph {
+	out := make(map[string]*graph.Graph, len(datasets))
+	for _, d := range datasets {
+		out[d.Notation] = d.Generate(seed)
+	}
+	return out
+}
+
+// timeFig8 runs the fig8 experiment end to end (dataset cache excluded —
+// graphs are passed in pre-built) at the given worker count and returns
+// wall-clock seconds.
+func timeFig8(datasets []gen.Dataset, ps []int, seed uint64, workers int) (float64, error) {
+	cfg := harness.Config{
+		Seed:     seed,
+		Datasets: datasets,
+		Ps:       ps,
+		Out:      io.Discard,
+		Workers:  workers,
+	}
+	graphs, err := harness.RunTable3(cfg)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := harness.RunFig8(cfg, graphs); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunQuickSnapshot runs benchsnap on two small datasets at one tiny
+// partition count and checks the written JSON parses back with the expected
+// grid and harness timing.
+func TestRunQuickSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log bytes.Buffer
+	err := run([]string{
+		"-quick", "-datasets", "G1s,G2s", "-ps", "4", "-seed", "7", "-out", out,
+	}, &log)
+	if err != nil {
+		t.Fatalf("run failed: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	// 2 datasets x 5 algorithms x 1 p.
+	if want := 2 * 5; len(snap.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(snap.Cells), want)
+	}
+	for _, c := range snap.Cells {
+		if c.RF < 1 || c.Seconds < 0 || c.Balance <= 0 {
+			t.Fatalf("implausible cell %+v", c)
+		}
+	}
+	if snap.Seed != 7 || !snap.Quick {
+		t.Fatalf("metadata wrong: %+v", snap)
+	}
+	if snap.Harness.Experiment != "fig8" || snap.Harness.SequentialSeconds <= 0 ||
+		snap.Harness.ParallelSeconds <= 0 || snap.Harness.Speedup <= 0 {
+		t.Fatalf("harness timing missing: %+v", snap.Harness)
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	err := run([]string{"-quick", "-datasets", "NOPE", "-out", filepath.Join(t.TempDir(), "x.json")}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -6,9 +6,16 @@
 //	experiments -exp all                 # everything (several minutes)
 //	experiments -exp fig8 -csv results   # Fig 8 plus CSV output
 //	experiments -exp table4 -quick       # scaled-down datasets, seconds
+//	experiments -exp fig8 -workers 1     # force a fully sequential run
 //
 // Experiments: table3, fig8, table4, fig9 (p=10), fig10 (p=15),
 // fig11 (p=20), table6, timing, ablation, all.
+//
+// Grid cells (and dataset generations) run concurrently on a bounded worker
+// pool; output is identical for any worker count. The pool size comes from
+// -workers, then the GRAPHPART_WORKERS environment variable, then
+// GOMAXPROCS. Per-cell seconds in timing output include contention between
+// concurrent cells — use -workers 1 (or cmd/benchsnap) for clean timings.
 package main
 
 import (
@@ -31,15 +38,16 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|all")
-		seed  = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
-		csv   = flag.String("csv", "", "directory for CSV output (optional)")
-		quick = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
-		only  = flag.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
+		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|all")
+		seed    = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
+		csv     = flag.String("csv", "", "directory for CSV output (optional)")
+		quick   = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
+		only    = flag.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
+		workers = flag.Int("workers", 0, "concurrent grid cells; 0 = GRAPHPART_WORKERS env, then GOMAXPROCS (output is identical for any value)")
 	)
 	flag.Parse()
 
-	cfg := harness.Config{Seed: *seed, CSVDir: *csv, Out: os.Stdout}
+	cfg := harness.Config{Seed: *seed, CSVDir: *csv, Out: os.Stdout, Workers: *workers}
 	if *quick {
 		cfg.Datasets = gen.SmallDatasets()
 		cfg.Ps = []int{4, 6, 8}

@@ -14,6 +14,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+
+	"github.com/graphpart/graphpart/internal/parallel"
 )
 
 // Vertex identifies a vertex as a dense index in [0, NumVertices).
@@ -150,8 +153,18 @@ func MustFromEdges(numVertices int, edges []Edge) *Graph {
 	return g
 }
 
+// parallelBuildThreshold is the edge count below which CSR assembly stays
+// sequential: pool startup and atomic traffic cost more than they save on
+// small graphs.
+const parallelBuildThreshold = 1 << 15
+
 // build assembles the CSR arrays from a deduplicated canonical edge list.
 // edges must already be self-loop free, duplicate free, and have U < V.
+//
+// Assembly is sharded over the worker pool for large graphs. The resulting
+// arrays are byte-identical to the sequential build: neighbour ids within a
+// vertex are unique (simple graph), so the per-vertex sort erases whatever
+// interleaving the concurrent bucket fill produced.
 func build(numVertices int, edges []Edge) *Graph {
 	// Sort edges canonically so EdgeIDs are deterministic regardless of
 	// insertion order.
@@ -167,6 +180,15 @@ func build(numVertices int, edges []Edge) *Graph {
 		adjEdge: make([]EdgeID, 2*len(edges)),
 		edges:   edges,
 	}
+	if workers := parallel.Workers(0); workers > 1 && len(edges) >= parallelBuildThreshold {
+		buildCSRParallel(g, numVertices, edges, workers)
+	} else {
+		buildCSRSequential(g, numVertices, edges)
+	}
+	return g
+}
+
+func buildCSRSequential(g *Graph, numVertices int, edges []Edge) {
 	deg := make([]int64, numVertices)
 	for _, e := range edges {
 		deg[e.U]++
@@ -191,7 +213,46 @@ func build(numVertices int, edges []Edge) *Graph {
 		lo, hi := g.offsets[v], g.offsets[v+1]
 		sortAdjRange(g.adj[lo:hi], g.adjEdge[lo:hi])
 	}
-	return g
+}
+
+// buildCSRParallel assembles the same CSR arrays with three sharded passes:
+// an atomic degree count over edge shards, an atomic-cursor bucket fill over
+// edge shards, and a per-vertex-range sort pass that restores the canonical
+// neighbour order.
+func buildCSRParallel(g *Graph, numVertices int, edges []Edge, workers int) {
+	// Oversplit so a dense shard cannot straggle the whole pass.
+	edgeChunks := parallel.Chunks(len(edges), workers*4)
+	deg := make([]int32, numVertices)
+	parallel.ForEach(len(edgeChunks), workers, func(c int) {
+		for _, e := range edges[edgeChunks[c][0]:edgeChunks[c][1]] {
+			atomic.AddInt32(&deg[e.U], 1)
+			atomic.AddInt32(&deg[e.V], 1)
+		}
+	})
+	for v := 0; v < numVertices; v++ {
+		g.offsets[v+1] = g.offsets[v] + int64(deg[v])
+	}
+	cursor := make([]int64, numVertices)
+	copy(cursor, g.offsets[:numVertices])
+	parallel.ForEach(len(edgeChunks), workers, func(c int) {
+		lo, hi := edgeChunks[c][0], edgeChunks[c][1]
+		for id := lo; id < hi; id++ {
+			e := edges[id]
+			su := atomic.AddInt64(&cursor[e.U], 1) - 1
+			g.adj[su] = e.V
+			g.adjEdge[su] = EdgeID(id)
+			sv := atomic.AddInt64(&cursor[e.V], 1) - 1
+			g.adj[sv] = e.U
+			g.adjEdge[sv] = EdgeID(id)
+		}
+	})
+	vertChunks := parallel.Chunks(numVertices, workers*4)
+	parallel.ForEach(len(vertChunks), workers, func(c int) {
+		for v := vertChunks[c][0]; v < vertChunks[c][1]; v++ {
+			lo, hi := g.offsets[v], g.offsets[v+1]
+			sortAdjRange(g.adj[lo:hi], g.adjEdge[lo:hi])
+		}
+	})
 }
 
 // sortAdjRange sorts a neighbour slice and its parallel edge-id slice by

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/parallel"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// randomEdges returns a deduplicated canonical edge list big enough to cross
+// parallelBuildThreshold.
+func randomEdges(n, m int, seed uint64) (int, []Edge) {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for len(b.edges) < m {
+		u := Vertex(r.Intn(n))
+		v := Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return n, dedupe(append([]Edge(nil), b.edges...))
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			t.Fatalf("offsets[%d]: %d vs %d", i, a.offsets[i], b.offsets[i])
+		}
+	}
+	for i := range a.adj {
+		if a.adj[i] != b.adj[i] {
+			t.Fatalf("adj[%d]: %d vs %d", i, a.adj[i], b.adj[i])
+		}
+	}
+	for i := range a.adjEdge {
+		if a.adjEdge[i] != b.adjEdge[i] {
+			t.Fatalf("adjEdge[%d]: %d vs %d", i, a.adjEdge[i], b.adjEdge[i])
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			t.Fatalf("edges[%d]: %v vs %v", i, a.edges[i], b.edges[i])
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequential forces the concurrent CSR assembly on
+// (via the worker env override) and checks every array against the
+// sequential build.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	n, edges := randomEdges(4000, 2*parallelBuildThreshold, 99)
+
+	seq := &Graph{
+		offsets: make([]int64, n+1),
+		adj:     make([]Vertex, 2*len(edges)),
+		adjEdge: make([]EdgeID, 2*len(edges)),
+		edges:   edges,
+	}
+	buildCSRSequential(seq, n, edges)
+
+	for _, workers := range []int{2, 3, 8} {
+		par := &Graph{
+			offsets: make([]int64, n+1),
+			adj:     make([]Vertex, 2*len(edges)),
+			adjEdge: make([]EdgeID, 2*len(edges)),
+			edges:   edges,
+		}
+		buildCSRParallel(par, n, edges, workers)
+		graphsEqual(t, seq, par)
+	}
+}
+
+// TestBuildHonoursWorkerEnv goes through the public Build path with the env
+// override set, exercising the dispatch in build().
+func TestBuildHonoursWorkerEnv(t *testing.T) {
+	t.Setenv(parallel.EnvWorkers, "8")
+	n, edges := randomEdges(3000, 2*parallelBuildThreshold, 7)
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gPar := b.Build()
+
+	t.Setenv(parallel.EnvWorkers, "1")
+	gSeq := b.Build()
+	graphsEqual(t, gSeq, gPar)
+}
+

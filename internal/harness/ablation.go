@@ -10,6 +10,7 @@ import (
 	"github.com/graphpart/graphpart/internal/core"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/refine"
 	"github.com/graphpart/graphpart/internal/window"
@@ -80,6 +81,34 @@ func RunAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
 		}
 	}
 	roster := ablationRoster()
+	// Fan the (dataset, variant) cells out over the pool; skipped cells
+	// are a result, not an error, so one skip never aborts the grid.
+	type ablationCell struct {
+		rf      float64
+		seconds float64
+		skipped bool
+	}
+	cells, err := parallel.MapErr(len(cfg.Datasets)*len(roster), cfg.Workers, func(i int) (ablationCell, error) {
+		d := cfg.Datasets[i/len(roster)]
+		r := roster[i%len(roster)]
+		g := graphs[d.Notation]
+		start := time.Now()
+		a, err := r.run(g, p, cfg.Seed)
+		if errors.Is(err, errSkipped) {
+			return ablationCell{skipped: true}, nil
+		}
+		if err != nil {
+			return ablationCell{}, fmt.Errorf("harness: ablation %s on %s: %w", r.name, d.Notation, err)
+		}
+		rf, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			return ablationCell{}, fmt.Errorf("harness: ablation metrics %s on %s: %w", r.name, d.Notation, err)
+		}
+		return ablationCell{rf: rf, seconds: time.Since(start).Seconds()}, nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(cfg.Out, "\nABLATION (p=%d): replication factor by variant\n", p)
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	header := "graph"
@@ -88,27 +117,18 @@ func RunAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
 	}
 	fmt.Fprintln(tw, header)
 	var rows [][]string
-	for _, d := range cfg.Datasets {
-		g := graphs[d.Notation]
+	for di, d := range cfg.Datasets {
 		row := d.Notation
-		for _, r := range roster {
-			start := time.Now()
-			a, err := r.run(g, p, cfg.Seed)
-			if errors.Is(err, errSkipped) {
+		for ri, r := range roster {
+			c := cells[di*len(roster)+ri]
+			if c.skipped {
 				row += "\t-"
 				rows = append(rows, []string{d.Notation, r.name, strconv.Itoa(p), "", ""})
 				continue
 			}
-			if err != nil {
-				return fmt.Errorf("harness: ablation %s on %s: %w", r.name, d.Notation, err)
-			}
-			rf, err := partition.ReplicationFactor(g, a)
-			if err != nil {
-				return fmt.Errorf("harness: ablation metrics %s on %s: %w", r.name, d.Notation, err)
-			}
-			row += fmt.Sprintf("\t%.3f", rf)
+			row += fmt.Sprintf("\t%.3f", c.rf)
 			rows = append(rows, []string{d.Notation, r.name, strconv.Itoa(p),
-				fmt.Sprintf("%.4f", rf), fmt.Sprintf("%.3f", time.Since(start).Seconds())})
+				fmt.Sprintf("%.4f", c.rf), fmt.Sprintf("%.3f", c.seconds)})
 		}
 		fmt.Fprintln(tw, row)
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"github.com/graphpart/graphpart/internal/gen"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/streaming"
 )
@@ -35,6 +37,15 @@ type Config struct {
 	Out io.Writer
 	// CSVDir, when non-empty, also writes one CSV per experiment there.
 	CSVDir string
+	// Workers bounds how many grid cells (and dataset generations) run
+	// concurrently. 0 resolves via the GRAPHPART_WORKERS environment
+	// variable, then GOMAXPROCS; 1 runs fully sequentially. Every cell
+	// gets its own partitioner built from the seed, and results land in
+	// pre-sized slices by cell index, so tables and CSV rows are
+	// identical for any worker count. Per-cell Seconds are the only
+	// numbers affected (concurrent cells contend for cores); use
+	// cmd/benchsnap or Workers=1 for clean timings.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,16 +73,27 @@ type Result struct {
 	Stats *core.Stats
 }
 
+// algorithmFactories builds the Fig. 8 roster in the paper's order: TLP,
+// METIS, LDG, DBH, Random. Factories (rather than shared instances) let the
+// parallel grid give every cell its own partitioner — partitioners and
+// rng.RNG are not goroutine-safe — while staying deterministic, because each
+// instance is a function of the seed alone.
+var algorithmFactories = []func(seed uint64) partition.Partitioner{
+	func(seed uint64) partition.Partitioner { return core.MustNew(core.Options{Seed: seed}) },
+	func(seed uint64) partition.Partitioner { return metis.New(metis.Config{Seed: seed}) },
+	func(seed uint64) partition.Partitioner { return streaming.NewLDG(seed, streaming.OrderShuffled) },
+	func(seed uint64) partition.Partitioner { return streaming.NewDBH(seed) },
+	func(seed uint64) partition.Partitioner { return streaming.NewRandom(seed) },
+}
+
 // Algorithms returns the Fig. 8 roster in the paper's order: TLP, METIS,
 // LDG, DBH, Random.
 func Algorithms(seed uint64) []partition.Partitioner {
-	return []partition.Partitioner{
-		core.MustNew(core.Options{Seed: seed}),
-		metis.New(metis.Config{Seed: seed}),
-		streaming.NewLDG(seed, streaming.OrderShuffled),
-		streaming.NewDBH(seed),
-		streaming.NewRandom(seed),
+	out := make([]partition.Partitioner, len(algorithmFactories))
+	for i, f := range algorithmFactories {
+		out[i] = f(seed)
 	}
+	return out
 }
 
 // runOne partitions g and measures RF/balance/time.
@@ -101,14 +123,16 @@ func runOne(g *graph.Graph, pt partition.Partitioner, dataset string, p int) (Re
 // reuse them.
 func RunTable3(cfg Config) (map[string]*graph.Graph, error) {
 	cfg = cfg.withDefaults()
-	graphs := make(map[string]*graph.Graph, len(cfg.Datasets))
+	graphs, err := generateAll(cfg)
+	if err != nil {
+		return nil, err
+	}
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "TABLE III: datasets (synthetic analogues; see DESIGN.md §4)")
 	fmt.Fprintln(tw, "Graph\tNotation\t|V(G)|\t|E(G)|\t|V|+|E|\tfamily")
 	var rows [][]string
 	for _, d := range cfg.Datasets {
-		g := d.Generate(cfg.Seed)
-		graphs[d.Notation] = g
+		g := graphs[d.Notation]
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
 			d.Name, d.Notation, g.NumVertices(), g.NumEdges(),
 			g.NumVertices()+g.NumEdges(), d.Family)
@@ -136,25 +160,48 @@ func RunFig8(cfg Config, graphs map[string]*graph.Graph) ([]Result, error) {
 			return nil, err
 		}
 	}
-	var results []Result
-	algs := Algorithms(cfg.Seed)
+	// Fan the (p, dataset, algorithm) grid out over the worker pool; cells
+	// are independent, and each gets a fresh partitioner built from the
+	// seed. Results land by cell index, in the exact order the sequential
+	// loops appended them, so tables and CSV rows are unchanged.
+	algNames := make([]string, len(algorithmFactories))
+	for i, f := range algorithmFactories {
+		algNames[i] = f(cfg.Seed).Name()
+	}
+	type cell struct {
+		notation string
+		alg      int
+		p        int
+	}
+	cells := make([]cell, 0, len(cfg.Ps)*len(cfg.Datasets)*len(algorithmFactories))
+	for _, p := range cfg.Ps {
+		for _, d := range cfg.Datasets {
+			for ai := range algorithmFactories {
+				cells = append(cells, cell{notation: d.Notation, alg: ai, p: p})
+			}
+		}
+	}
+	results, err := parallel.MapErr(len(cells), cfg.Workers, func(i int) (Result, error) {
+		c := cells[i]
+		return runOne(graphs[c.notation], algorithmFactories[c.alg](cfg.Seed), c.notation, c.p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
 	for _, p := range cfg.Ps {
 		fmt.Fprintf(cfg.Out, "\nFIG 8 (p=%d): replication factor by algorithm\n", p)
 		tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 		header := "graph"
-		for _, a := range algs {
-			header += "\t" + a.Name()
+		for _, name := range algNames {
+			header += "\t" + name
 		}
 		fmt.Fprintln(tw, header)
 		for _, d := range cfg.Datasets {
 			row := d.Notation
-			for _, alg := range algs {
-				res, err := runOne(graphs[d.Notation], alg, d.Notation, p)
-				if err != nil {
-					return nil, err
-				}
-				results = append(results, res)
-				row += fmt.Sprintf("\t%.3f", res.RF)
+			for range algNames {
+				row += fmt.Sprintf("\t%.3f", results[idx].RF)
+				idx++
 			}
 			fmt.Fprintln(tw, row)
 		}
@@ -236,7 +283,21 @@ func RunFigR(cfg Config, graphs map[string]*graph.Graph, p int) ([]Result, error
 		}
 	}
 	rs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	var results []Result
+	// Fan the (dataset, variant) sweep out over the pool: variant 0 is
+	// plain TLP, variants 1..len(rs) are TLP_R at rs[v-1]. Each task
+	// constructs its own partitioner from the seed.
+	variants := 1 + len(rs)
+	results, err := parallel.MapErr(len(cfg.Datasets)*variants, cfg.Workers, func(i int) (Result, error) {
+		d := cfg.Datasets[i/variants]
+		g := graphs[d.Notation]
+		if v := i % variants; v > 0 {
+			return runOne(g, core.MustNewTLPR(rs[v-1], core.Options{Seed: cfg.Seed}), d.Notation, p)
+		}
+		return runOne(g, core.MustNew(core.Options{Seed: cfg.Seed}), d.Notation, p)
+	})
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(cfg.Out, "\nFIG (p=%d): TLP vs TLP_R across R\n", p)
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	header := "graph\tTLP"
@@ -244,21 +305,10 @@ func RunFigR(cfg Config, graphs map[string]*graph.Graph, p int) ([]Result, error
 		header += fmt.Sprintf("\tR=%.1f", r)
 	}
 	fmt.Fprintln(tw, header)
-	for _, d := range cfg.Datasets {
-		g := graphs[d.Notation]
-		res, err := runOne(g, core.MustNew(core.Options{Seed: cfg.Seed}), d.Notation, p)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-		row := fmt.Sprintf("%s\t%.3f", d.Notation, res.RF)
-		for _, r := range rs {
-			resR, err := runOne(g, core.MustNewTLPR(r, core.Options{Seed: cfg.Seed}), d.Notation, p)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, resR)
-			row += fmt.Sprintf("\t%.3f", resR.RF)
+	for di, d := range cfg.Datasets {
+		row := d.Notation
+		for v := 0; v < variants; v++ {
+			row += fmt.Sprintf("\t%.3f", results[di*variants+v].RF)
 		}
 		fmt.Fprintln(tw, row)
 	}
@@ -285,6 +335,21 @@ func RunTable6(cfg Config, graphs map[string]*graph.Graph) error {
 			return err
 		}
 	}
+	// Fan the (dataset, p) grid out over the pool with one fresh TLP per
+	// cell, collecting the per-stage stats by cell index.
+	stats, err := parallel.MapErr(len(cfg.Datasets)*len(cfg.Ps), cfg.Workers, func(i int) (core.Stats, error) {
+		d := cfg.Datasets[i/len(cfg.Ps)]
+		p := cfg.Ps[i%len(cfg.Ps)]
+		tlp := core.MustNew(core.Options{Seed: cfg.Seed})
+		_, st, err := tlp.PartitionStats(graphs[d.Notation], p)
+		if err != nil {
+			return core.Stats{}, fmt.Errorf("harness: table6 %s p=%d: %w", d.Notation, p, err)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(cfg.Out, "\nTABLE VI: average degree of vertices selected per stage")
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	header := "graph"
@@ -293,18 +358,14 @@ func RunTable6(cfg Config, graphs map[string]*graph.Graph) error {
 	}
 	fmt.Fprintln(tw, header)
 	var rows [][]string
-	for _, d := range cfg.Datasets {
+	for di, d := range cfg.Datasets {
 		row := d.Notation
-		for _, p := range cfg.Ps {
-			tlp := core.MustNew(core.Options{Seed: cfg.Seed})
-			_, stats, err := tlp.PartitionStats(graphs[d.Notation], p)
-			if err != nil {
-				return fmt.Errorf("harness: table6 %s p=%d: %w", d.Notation, p, err)
-			}
-			row += fmt.Sprintf("\t%.2f\t%.2f", stats.AvgDegreeStage1(), stats.AvgDegreeStage2())
+		for pi, p := range cfg.Ps {
+			st := stats[di*len(cfg.Ps)+pi]
+			row += fmt.Sprintf("\t%.2f\t%.2f", st.AvgDegreeStage1(), st.AvgDegreeStage2())
 			rows = append(rows, []string{d.Notation, strconv.Itoa(p),
-				fmt.Sprintf("%.3f", stats.AvgDegreeStage1()),
-				fmt.Sprintf("%.3f", stats.AvgDegreeStage2())})
+				fmt.Sprintf("%.3f", st.AvgDegreeStage1()),
+				fmt.Sprintf("%.3f", st.AvgDegreeStage2())})
 		}
 		fmt.Fprintln(tw, row)
 	}
@@ -328,24 +389,36 @@ func RunTiming(cfg Config, graphs map[string]*graph.Graph, p int) error {
 			return err
 		}
 	}
-	algs := Algorithms(cfg.Seed)
+	algNames := make([]string, len(algorithmFactories))
+	for i, f := range algorithmFactories {
+		algNames[i] = f(cfg.Seed).Name()
+	}
+	// Fan the (dataset, algorithm) cells out over the pool. Note that with
+	// Workers > 1 the measured seconds include contention between
+	// concurrent cells; cmd/benchsnap runs cells sequentially when clean
+	// per-cell numbers are needed.
+	results, err := parallel.MapErr(len(cfg.Datasets)*len(algNames), cfg.Workers, func(i int) (Result, error) {
+		d := cfg.Datasets[i/len(algNames)]
+		alg := algorithmFactories[i%len(algNames)](cfg.Seed)
+		return runOne(graphs[d.Notation], alg, d.Notation, p)
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(cfg.Out, "\nTIMING (p=%d): partitioning seconds by algorithm\n", p)
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	header := "graph"
-	for _, a := range algs {
-		header += "\t" + a.Name()
+	for _, name := range algNames {
+		header += "\t" + name
 	}
 	fmt.Fprintln(tw, header)
 	var rows [][]string
-	for _, d := range cfg.Datasets {
+	for di, d := range cfg.Datasets {
 		row := d.Notation
-		for _, alg := range algs {
-			res, err := runOne(graphs[d.Notation], alg, d.Notation, p)
-			if err != nil {
-				return err
-			}
+		for ai, name := range algNames {
+			res := results[di*len(algNames)+ai]
 			row += fmt.Sprintf("\t%.3f", res.Seconds)
-			rows = append(rows, []string{d.Notation, alg.Name(),
+			rows = append(rows, []string{d.Notation, name,
 				strconv.Itoa(p), fmt.Sprintf("%.4f", res.Seconds)})
 		}
 		fmt.Fprintln(tw, row)
@@ -357,10 +430,53 @@ func RunTiming(cfg Config, graphs map[string]*graph.Graph, p int) error {
 		[]string{"dataset", "algorithm", "p", "seconds"}, rows)
 }
 
+// graphCache memoises Dataset.Generate results so the harness entry points
+// share one build per (dataset, seed) instead of regenerating the nine
+// graphs for every experiment. Graphs are immutable and a deterministic
+// function of the key, so sharing is safe; the per-entry once lets distinct
+// datasets generate concurrently while concurrent requests for the same
+// dataset build it exactly once.
+var graphCache = struct {
+	sync.Mutex
+	entries map[graphCacheKey]*graphCacheEntry
+}{entries: map[graphCacheKey]*graphCacheEntry{}}
+
+type graphCacheKey struct {
+	seed               uint64
+	notation, family   string
+	vertices, numEdges int
+}
+
+type graphCacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+func cachedGenerate(d gen.Dataset, seed uint64) *graph.Graph {
+	key := graphCacheKey{
+		seed: seed, notation: d.Notation, family: d.Family,
+		vertices: d.Vertices, numEdges: d.Edges,
+	}
+	graphCache.Lock()
+	e, ok := graphCache.entries[key]
+	if !ok {
+		e = &graphCacheEntry{}
+		graphCache.entries[key] = e
+	}
+	graphCache.Unlock()
+	e.once.Do(func() { e.g = d.Generate(seed) })
+	return e.g
+}
+
+// generateAll builds (or fetches from cache) every configured dataset, with
+// distinct datasets generating concurrently on the worker pool.
 func generateAll(cfg Config) (map[string]*graph.Graph, error) {
+	gs := parallel.Map(len(cfg.Datasets), cfg.Workers, func(i int) *graph.Graph {
+		return cachedGenerate(cfg.Datasets[i], cfg.Seed)
+	})
 	graphs := make(map[string]*graph.Graph, len(cfg.Datasets))
-	for _, d := range cfg.Datasets {
-		graphs[d.Notation] = d.Generate(cfg.Seed)
+	for i, d := range cfg.Datasets {
+		graphs[d.Notation] = gs[i]
 	}
 	return graphs, nil
 }

@@ -1,0 +1,123 @@
+package partition
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/parallel"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// bigAssigned builds a graph above parallelMetricsThreshold with every edge
+// assigned pseudo-randomly across p partitions.
+func bigAssigned(t *testing.T, p int) (*graph.Graph, *Assignment) {
+	t.Helper()
+	const n = 5000
+	r := rng.New(11)
+	b := graph.NewBuilder(n)
+	for added := 0; added < parallelMetricsThreshold+5000; added++ {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	a := MustNew(g.NumEdges(), p)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), int(rng.Hash64(uint64(id))%uint64(p)))
+	}
+	return g, a
+}
+
+func metricsEqual(t *testing.T, want, got Metrics) {
+	t.Helper()
+	if want.P != got.P || want.TotalReplicas != got.TotalReplicas ||
+		want.SpannedVertices != got.SpannedVertices ||
+		want.MaxLoad != got.MaxLoad || want.MinLoad != got.MinLoad ||
+		want.ReplicationFactor != got.ReplicationFactor ||
+		want.Balance != got.Balance {
+		t.Fatalf("metrics differ:\nwant %+v\ngot  %+v", want, got)
+	}
+	if len(want.Modularity) != len(got.Modularity) {
+		t.Fatalf("modularity lengths differ: %d vs %d", len(want.Modularity), len(got.Modularity))
+	}
+	for k := range want.Modularity {
+		w, g := want.Modularity[k], got.Modularity[k]
+		if w != g && !(math.IsInf(w, 1) && math.IsInf(g, 1)) {
+			t.Fatalf("modularity[%d]: %v vs %v", k, w, g)
+		}
+	}
+}
+
+// TestComputeParallelMatchesSequential checks Compute, ReplicationFactor and
+// ModularityAll are worker-count independent, bit for bit.
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	g, a := bigAssigned(t, 13)
+
+	t.Setenv(parallel.EnvWorkers, "1")
+	seqM, err := Compute(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRF, err := ReplicationFactor(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqMod, err := ModularityAll(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []string{"2", "5", "16"} {
+		t.Setenv(parallel.EnvWorkers, workers)
+		parM, err := Compute(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metricsEqual(t, seqM, parM)
+		parRF, err := ReplicationFactor(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parRF != seqRF {
+			t.Fatalf("workers=%s: RF %v vs %v", workers, parRF, seqRF)
+		}
+		parMod, err := ModularityAll(g, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range seqMod {
+			if parMod[k] != seqMod[k] && !(math.IsInf(parMod[k], 1) && math.IsInf(seqMod[k], 1)) {
+				t.Fatalf("workers=%s: modularity[%d] %v vs %v", workers, k, parMod[k], seqMod[k])
+			}
+		}
+	}
+}
+
+// TestPresenceScanUnassignedError checks the parallel scan reports the same
+// lowest-numbered unassigned edge as a sequential scan would.
+func TestPresenceScanUnassignedError(t *testing.T) {
+	g, a := bigAssigned(t, 8)
+	// Unassign two edges; the error must always name the lower id.
+	fresh := MustNew(g.NumEdges(), 8)
+	for id := 0; id < g.NumEdges(); id++ {
+		if id == 1234 || id == 20000 {
+			continue
+		}
+		k, _ := a.PartitionOf(graph.EdgeID(id))
+		fresh.Assign(graph.EdgeID(id), k)
+	}
+	for _, workers := range []string{"1", "4", "16"} {
+		t.Setenv(parallel.EnvWorkers, workers)
+		_, err := Compute(g, fresh)
+		if err == nil || !strings.Contains(err.Error(), "edge 1234 unassigned") {
+			t.Fatalf("workers=%s: got %v, want edge 1234 unassigned", workers, err)
+		}
+	}
+}
