@@ -9,7 +9,8 @@
 //	experiments -exp fig8 -workers 1     # force a fully sequential run
 //
 // Experiments: table3, fig8, table4, fig9 (p=10), fig10 (p=15),
-// fig11 (p=20), table6, timing, ablation, all.
+// fig11 (p=20), table6, timing, ablation, window (TLP-SW window-size
+// sweep), all.
 //
 // Grid cells (and dataset generations) run concurrently on a bounded worker
 // pool; output is identical for any worker count. The pool size comes from
@@ -38,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|all")
+		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|all")
 		seed    = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
 		csv     = flag.String("csv", "", "directory for CSV output (optional)")
 		quick   = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
@@ -88,7 +89,7 @@ func run() error {
 	case "table3":
 		return nil
 	case "fig8", "table4", "all":
-	case "fig9", "fig10", "fig11", "table6", "timing", "ablation":
+	case "fig9", "fig10", "fig11", "table6", "timing", "ablation", "window":
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -144,6 +145,15 @@ func run() error {
 			tp = 4
 		}
 		if err := harness.RunAblation(cfg, graphs, tp); err != nil {
+			return err
+		}
+	}
+	if *exp == "window" || *exp == "all" {
+		tp := 10
+		if *quick {
+			tp = 4
+		}
+		if err := harness.RunWindowAblation(cfg, graphs, tp); err != nil {
 			return err
 		}
 	}

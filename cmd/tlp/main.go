@@ -6,16 +6,27 @@
 //	tlp -input graph.txt -algo tlp -p 10
 //	tlp -dataset G3 -algo metis -p 15 -seed 7
 //	tlp -dataset G1 -algo tlpr -r 0.4 -p 10
+//	tlp -input big.txt.gz -algo tlpsw -p 16 -stream -window 50000
 //
 // The input is either an edge-list file (-input; SNAP format, ".gz" allowed)
 // or one of the built-in synthetic datasets (-dataset G1..G9).
+//
+// With -stream the graph is never materialised as a CSR: the input becomes
+// an EdgeSource (file-backed for -input, generator-backed for -dataset), the
+// algorithm must implement StreamPartitioner (tlpsw and the streaming
+// baselines random, dbh, greedy, hdrf, ldg, fennel), quality metrics are
+// computed by a second streaming pass, and the report includes the live-heap
+// growth measured around the run. -window bounds the resident window for
+// tlpsw; -dense interns sparse vertex ids in file inputs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -41,8 +52,15 @@ func run() error {
 		stats   = flag.Bool("stats", false, "print TLP stage statistics (tlp/tlpr only)")
 		doRef   = flag.Bool("refine", false, "run the replica-consolidation refinement pass after partitioning")
 		report  = flag.String("report", "", "write a detailed per-partition report: 'text' or 'json'")
+		stream  = flag.Bool("stream", false, "out-of-core mode: partition from an EdgeSource without building a CSR (streaming algorithms and tlpsw only)")
+		winSize = flag.Int("window", 0, "with -stream -algo tlpsw: bound on resident unassigned edges (0 = default)")
+		dense   = flag.Bool("dense", false, "with -stream -input: intern sparse vertex ids instead of assuming 0..maxID")
 	)
 	flag.Parse()
+
+	if *stream {
+		return runStream(os.Stdout, *input, *dataset, strings.ToLower(*algo), *p, *seed, *winSize, *dense)
+	}
 
 	g, err := loadGraph(*input, *dataset, *seed)
 	if err != nil {
@@ -153,6 +171,92 @@ func run() error {
 			tlpStats.Reseeds, tlpStats.PartialAbsorptions, tlpStats.SweptEdges)
 	}
 	return nil
+}
+
+// runStream is the -stream mode: it partitions straight from an EdgeSource —
+// no CSR is ever built — and reports quality from a second streaming pass,
+// plus the live-heap growth around the run as the bounded-memory evidence.
+func runStream(out io.Writer, input, dataset, algo string, p int, seed uint64, winSize int, dense bool) error {
+	src, err := openSource(input, dataset, seed, dense)
+	if err != nil {
+		return err
+	}
+	if c, ok := src.(io.Closer); ok {
+		defer func() { _ = c.Close() }()
+	}
+	fmt.Fprintf(out, "source: %d vertices, %d edges (streaming, no CSR)\n",
+		src.NumVertices(), src.NumEdges())
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	var a *graphpart.Assignment
+	var wstats *graphpart.WindowStats
+	if algo == "tlpsw" {
+		sw := graphpart.NewSlidingTLP(graphpart.SlidingWindowConfig{Seed: seed, WindowEdges: winSize})
+		var st graphpart.WindowStats
+		a, st, err = sw.PartitionStreamStats(src, p)
+		if err != nil {
+			return err
+		}
+		wstats = &st
+	} else {
+		all := graphpart.AllPartitioners(seed)
+		pt, ok := all[algo]
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q", algo)
+		}
+		sp, ok := pt.(graphpart.StreamPartitioner)
+		if !ok {
+			return fmt.Errorf("algorithm %q needs the whole graph in memory and cannot run with -stream", algo)
+		}
+		a, err = sp.PartitionStream(src, p)
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	liveMiB := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / (1 << 20)
+
+	m, err := graphpart.StreamMetrics(src, a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "algorithm: %s  p=%d  time=%v\n", algo, p, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "replication factor: %.4f\n", m.ReplicationFactor)
+	fmt.Fprintf(out, "balance: %.4f (loads %d..%d, capacity %d)\n",
+		m.Balance, m.MinLoad, m.MaxLoad, graphpart.Capacity(src.NumEdges(), p))
+	fmt.Fprintf(out, "spanned vertices: %d of %d\n", m.SpannedVertices, src.NumVertices())
+	if wstats != nil {
+		fmt.Fprintf(out, "window: peak %d edges resident, %d refills, %d streamed, %d swept\n",
+			wstats.PeakWindowEdges, wstats.Refills, wstats.StreamedEdges, wstats.SweptEdges)
+	}
+	fmt.Fprintf(out, "live heap growth: %.1f MiB (assignment + partitioner state; the edge set stayed on disk)\n", liveMiB)
+	return nil
+}
+
+// openSource builds the -stream EdgeSource: file-backed for -input,
+// generator-backed for -dataset.
+func openSource(input, dataset string, seed uint64, dense bool) (graphpart.EdgeSource, error) {
+	switch {
+	case input != "" && dataset != "":
+		return nil, fmt.Errorf("use -input or -dataset, not both")
+	case input != "":
+		return graphpart.OpenEdgeListSource(input, graphpart.FileSourceConfig{DenseIDs: dense})
+	case dataset != "":
+		d, err := graphpart.DatasetByNotation(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return graphpart.NewDatasetSource(d, seed), nil
+	default:
+		return nil, fmt.Errorf("need -input FILE or -dataset G1..G9")
+	}
 }
 
 func loadGraph(input, dataset string, seed uint64) (*graphpart.Graph, error) {

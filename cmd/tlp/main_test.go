@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -29,5 +33,65 @@ func TestLoadGraphModes(t *testing.T) {
 	}
 	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt"), "", 1); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	var lines []byte
+	// 3 joined 4-cliques: enough structure for every streaming algorithm.
+	for c := 0; c < 3; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				lines = append(lines, []byte(fmt.Sprintf("%d %d\n", base+i, base+j))...)
+			}
+		}
+		if c > 0 {
+			lines = append(lines, []byte(fmt.Sprintf("%d %d\n", base-1, base))...)
+		}
+	}
+	if err := os.WriteFile(path, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, algo := range []string{"hdrf", "random", "ldg", "tlpsw"} {
+		var out bytes.Buffer
+		if err := runStream(&out, path, "", algo, 3, 7, 8, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		got := out.String()
+		for _, want := range []string{"streaming, no CSR", "replication factor:", "live heap growth:"} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("%s output missing %q:\n%s", algo, want, got)
+			}
+		}
+		if algo == "tlpsw" && !strings.Contains(got, "window: peak") {
+			t.Fatalf("tlpsw output missing window stats:\n%s", got)
+		}
+	}
+
+	// Dataset-backed source streams too.
+	var out bytes.Buffer
+	if err := runStream(&out, "", "G1", "greedy", 4, 7, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "replication factor:") {
+		t.Fatalf("dataset stream output incomplete:\n%s", out.String())
+	}
+
+	// Error paths: offline algorithms, unknown algorithms, bad inputs.
+	if err := runStream(io.Discard, path, "", "metis", 2, 7, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "-stream") {
+		t.Fatalf("metis with -stream: %v", err)
+	}
+	if err := runStream(io.Discard, path, "", "nope", 2, 7, 0, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := runStream(io.Discard, "", "", "hdrf", 2, 7, 0, false); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := runStream(io.Discard, path, "G1", "hdrf", 2, 7, 0, false); err == nil {
+		t.Fatal("both inputs accepted")
 	}
 }

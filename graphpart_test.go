@@ -3,6 +3,7 @@ package graphpart_test
 import (
 	"math"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -238,5 +239,111 @@ func TestPublicAPISlidingWindowAndKL(t *testing.T) {
 		if err := graphpart.Validate(g, a, graphpart.ValidateOptions{CapacitySlack: 2}); err != nil {
 			t.Fatalf("%s: %v", pt.Name(), err)
 		}
+	}
+}
+
+// TestPublicAPIPartitionerKeys pins the exact registry key set, including
+// the "flatkl" alias for "kl" and the "tlpsw" sliding-window key.
+func TestPublicAPIPartitionerKeys(t *testing.T) {
+	want := []string{
+		"dbh", "fennel", "flatkl", "greedy", "hdrf", "kl",
+		"ldg", "metis", "random", "tlp", "tlpsw",
+	}
+	all := graphpart.AllPartitioners(7)
+	got := make([]string, 0, len(all))
+	for name := range all {
+		got = append(got, name)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("AllPartitioners keys = %v, want %v", got, want)
+	}
+	// The alias must be the same algorithm under both keys.
+	if all["kl"].Name() != all["flatkl"].Name() {
+		t.Fatalf("kl (%s) and flatkl (%s) name different partitioners",
+			all["kl"].Name(), all["flatkl"].Name())
+	}
+}
+
+// TestPublicAPIStreaming exercises the EdgeSource layer end to end through
+// the facade: graph-, file- and generator-backed sources, the
+// StreamPartitioner contract, StreamMetrics and the window stats.
+func TestPublicAPIStreaming(t *testing.T) {
+	g := buildTestGraph(t)
+
+	// Graph-backed source through a streaming edge partitioner must match
+	// the legacy Partition path byte for byte.
+	var sp graphpart.StreamPartitioner = graphpart.NewHDRF(3, graphpart.OrderShuffled, 0).(graphpart.StreamPartitioner)
+	legacy, err := graphpart.NewHDRF(3, graphpart.OrderShuffled, 0).Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := sp.PartitionStream(graphpart.NewGraphSource(g, graphpart.OrderShuffled, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		ka, _ := legacy.PartitionOf(graphpart.EdgeID(id))
+		kb, _ := streamed.PartitionOf(graphpart.EdgeID(id))
+		if ka != kb {
+			t.Fatalf("edge %d: legacy %d vs streamed %d", id, ka, kb)
+		}
+	}
+
+	// StreamMetrics over the source must agree with ComputeMetrics.
+	sm, err := graphpart.StreamMetrics(graphpart.NewGraphSource(g, graphpart.OrderNatural, 0), streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := graphpart.ComputeMetrics(g, streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.ReplicationFactor != cm.ReplicationFactor {
+		t.Fatalf("stream RF %v != compute RF %v", sm.ReplicationFactor, cm.ReplicationFactor)
+	}
+
+	// File-backed: partition straight from disk, no CSR.
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graphpart.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	fsrc, err := graphpart.OpenEdgeListSource(path, graphpart.FileSourceConfig{DenseIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = fsrc.Close() }()
+	if fsrc.NumEdges() != g.NumEdges() || fsrc.NumVertices() != g.NumVertices() {
+		t.Fatalf("file source counts %d/%d, want %d/%d",
+			fsrc.NumVertices(), fsrc.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	sw := graphpart.NewSlidingTLP(graphpart.SlidingWindowConfig{Seed: 1, WindowEdges: 8})
+	a, stats, err := sw.PartitionStreamStats(fsrc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AssignedCount() != g.NumEdges() {
+		t.Fatalf("%d of %d edges assigned", a.AssignedCount(), g.NumEdges())
+	}
+	if stats.StreamedEdges != g.NumEdges() || stats.PeakWindowEdges <= 0 {
+		t.Fatalf("implausible window stats %+v", stats)
+	}
+
+	// Generator-backed: counts known before generation; stream partitions.
+	d, err := graphpart.DatasetByNotation("G1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrc := graphpart.NewDatasetSource(d, 5)
+	if gsrc.NumEdges() != d.Edges || gsrc.NumVertices() != d.Vertices {
+		t.Fatalf("dataset source counts %d/%d, want %d/%d",
+			gsrc.NumVertices(), gsrc.NumEdges(), d.Vertices, d.Edges)
+	}
+	ra, err := graphpart.NewRandom(5).(graphpart.StreamPartitioner).PartitionStream(gsrc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.AssignedCount() != d.Edges {
+		t.Fatalf("%d of %d dataset edges assigned", ra.AssignedCount(), d.Edges)
 	}
 }

@@ -3,12 +3,79 @@ package graph
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// edgeListScanBuf is the initial scanner buffer; it grows on demand up to
+// maxEdgeListLineBytes, so typical "u v" lines never reallocate.
+const edgeListScanBuf = 64 * 1024
+
+// maxEdgeListLineBytes caps a single edge-list line. Real SNAP files keep
+// lines tiny; the cap only bounds memory on corrupt or adversarial input.
+// It is a variable so tests can lower it to exercise the error path.
+var maxEdgeListLineBytes = 16 * 1024 * 1024
+
+// NewEdgeListScanner returns a line scanner for SNAP-style edge lists whose
+// buffer grows as needed up to the line cap, instead of bufio.Scanner's
+// fixed 64 KiB default. Shared by the CSR loader and the streaming
+// edge-list source so both accept the same inputs.
+func NewEdgeListScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	// The scanner's effective cap is max(cap(buf), max), so the initial
+	// buffer must not exceed the cap for the cap to bind.
+	initial := edgeListScanBuf
+	if initial > maxEdgeListLineBytes {
+		initial = maxEdgeListLineBytes
+	}
+	sc.Buffer(make([]byte, initial), maxEdgeListLineBytes)
+	return sc
+}
+
+// ScanEdgeListError converts a scanner error into a descriptive edge-list
+// error. linesRead is the number of lines successfully scanned so far; the
+// failing line is the next one. bufio.ErrTooLong in particular becomes an
+// error naming the line number and the cap instead of "token too long".
+func ScanEdgeListError(err error, linesRead int) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("graph: line %d exceeds the %d-byte line cap", linesRead+1, maxEdgeListLineBytes)
+	}
+	return fmt.Errorf("graph: reading edge list: %w", err)
+}
+
+// ParseEdgeLine parses one edge-list line into its original (pre-remap)
+// vertex ids. skip is true for blank lines and '#'/'%' comments. Extra
+// columns (weights, timestamps) are ignored. Errors do not include the line
+// number; callers add it.
+func ParseEdgeLine(line string) (u, v int64, skip bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || line[0] == '#' || line[0] == '%' {
+		return 0, 0, true, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0, 0, false, fmt.Errorf("expected at least two fields, got %q", line)
+	}
+	u, err = strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("bad vertex id %q: %w", fields[0], err)
+	}
+	v, err = strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("bad vertex id %q: %w", fields[1], err)
+	}
+	if u < 0 || v < 0 {
+		return 0, 0, false, fmt.Errorf("negative vertex id")
+	}
+	return u, v, false, nil
+}
 
 // ReadEdgeList parses a whitespace-separated edge list from r into a graph.
 //
@@ -23,29 +90,18 @@ import (
 func ReadEdgeList(r io.Reader) (*Graph, *IDMap, error) {
 	b := NewGrowingBuilder()
 	idm := &IDMap{dense: map[int64]Vertex{}}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc := NewEdgeListScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		u, v, skip, err := ParseEdgeLine(sc.Text())
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if skip || u == v {
+			// Self-loops are dropped before interning so the id map only
+			// names vertices the graph actually contains.
 			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("graph: line %d: expected at least two fields, got %q", lineNo, line)
-		}
-		u, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[0], err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[1], err)
-		}
-		if u < 0 || v < 0 {
-			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
 		}
 		du := idm.intern(u)
 		dv := idm.intern(v)
@@ -53,8 +109,8 @@ func ReadEdgeList(r io.Reader) (*Graph, *IDMap, error) {
 			return nil, nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	if err := ScanEdgeListError(sc.Err(), lineNo); err != nil {
+		return nil, nil, err
 	}
 	return b.Build(), idm, nil
 }
@@ -136,6 +192,17 @@ type IDMap struct {
 	dense    map[int64]Vertex
 	original []int64
 }
+
+// NewIDMap returns an empty mapping; ids are assigned densely in intern
+// order. Used by streaming edge-list sources that remap ids without
+// building a graph.
+func NewIDMap() *IDMap {
+	return &IDMap{dense: map[int64]Vertex{}}
+}
+
+// Intern returns the dense id for orig, assigning the next free id on first
+// sight.
+func (m *IDMap) Intern(orig int64) Vertex { return m.intern(orig) }
 
 func (m *IDMap) intern(orig int64) Vertex {
 	if d, ok := m.dense[orig]; ok {

@@ -125,3 +125,34 @@ func TestIdentityIDMap(t *testing.T) {
 		}
 	}
 }
+
+func TestReadEdgeListLongLineGrowsBuffer(t *testing.T) {
+	// A 2 MiB line would have overflowed the previous fixed 1 MiB scanner
+	// buffer; the grown scanner must parse it (trailing columns ignored).
+	var sb strings.Builder
+	sb.WriteString("0 1 ")
+	sb.WriteString(strings.Repeat("x", 2*1024*1024))
+	sb.WriteString("\n1 2\n")
+	g, _, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("2 MiB line rejected: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("got %d edges, want 2", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListLineCapErrorNamesLine(t *testing.T) {
+	old := maxEdgeListLineBytes
+	maxEdgeListLineBytes = 1024
+	defer func() { maxEdgeListLineBytes = old }()
+
+	in := "0 1\n1 2\n2 3 " + strings.Repeat("y", 4096) + "\n"
+	_, _, err := ReadEdgeList(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("over-cap line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "line cap") {
+		t.Fatalf("error %q does not name the failing line and cap", err)
+	}
+}

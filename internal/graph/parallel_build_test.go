@@ -96,4 +96,3 @@ func TestBuildHonoursWorkerEnv(t *testing.T) {
 	gSeq := b.Build()
 	graphsEqual(t, gSeq, gPar)
 }
-

@@ -46,6 +46,9 @@ func runEverything(t *testing.T, workers int) (string, []Result, string) {
 	if err := RunAblation(cfg, graphs, 4); err != nil {
 		t.Fatal(err)
 	}
+	if err := RunWindowAblation(cfg, graphs, 4); err != nil {
+		t.Fatal(err)
+	}
 	return buf.String(), results, cfg.CSVDir
 }
 
@@ -106,7 +109,7 @@ func TestHarnessWorkerCountInvariance(t *testing.T) {
 		}
 	}
 	drop := map[string]bool{"seconds": true}
-	for _, name := range []string{"table3.csv", "fig8.csv", "table4.csv", "figR_p4.csv", "table6.csv", "ablation_p4.csv"} {
+	for _, name := range []string{"table3.csv", "fig8.csv", "table4.csv", "figR_p4.csv", "table6.csv", "ablation_p4.csv", "window_p4.csv"} {
 		rows1 := stripSeconds(t, filepath.Join(dir1, name), drop)
 		rowsN := stripSeconds(t, filepath.Join(dirN, name), drop)
 		if len(rows1) != len(rowsN) {

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/parallel"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/source"
+	"github.com/graphpart/graphpart/internal/window"
+)
+
+// windowMultipliers are the window sizes swept by RunWindowAblation,
+// expressed as multiples of the per-partition capacity C = ceil(m/p):
+// half a partition's worth of context up to the default four.
+var windowMultipliers = []float64{0.5, 1, 2, 4}
+
+// RunWindowAblation sweeps the sliding-window TLP's window size on every
+// dataset at one partition count, reporting replication factor alongside the
+// window behaviour counters (peak resident edges, final-sweep edges) that
+// explain it: a smaller window holds less context per growth decision, so
+// quality degrades and more stragglers fall to the least-load sweep.
+func RunWindowAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	type windowCell struct {
+		rf      float64
+		stats   window.Stats
+		win     int
+		seconds float64
+		skipped bool
+	}
+	// Fan the (dataset, multiplier) cells out over the pool; the reference
+	// implementation's per-step frontier scans make very large graphs slow,
+	// so those cells are skipped like TLP-SW in RunAblation.
+	cells, err := parallel.MapErr(len(cfg.Datasets)*len(windowMultipliers), cfg.Workers, func(i int) (windowCell, error) {
+		d := cfg.Datasets[i/len(windowMultipliers)]
+		mult := windowMultipliers[i%len(windowMultipliers)]
+		g := graphs[d.Notation]
+		if g.NumEdges() > 150000 {
+			return windowCell{skipped: true}, nil
+		}
+		capC := partition.Capacity(g.NumEdges(), p)
+		win := int(float64(capC) * mult)
+		if win < 16 {
+			win = 16
+		}
+		w := window.New(window.Config{Seed: cfg.Seed, WindowEdges: win})
+		src := source.FromGraph(g, source.OrderBFS, cfg.Seed)
+		start := time.Now()
+		a, stats, err := w.PartitionStreamStats(src, p)
+		if err != nil {
+			return windowCell{}, fmt.Errorf("harness: window ablation %gC on %s: %w", mult, d.Notation, err)
+		}
+		rf, err := partition.ReplicationFactor(g, a)
+		if err != nil {
+			return windowCell{}, fmt.Errorf("harness: window ablation metrics %gC on %s: %w", mult, d.Notation, err)
+		}
+		return windowCell{rf: rf, stats: stats, win: win, seconds: time.Since(start).Seconds()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nWINDOW ABLATION (p=%d): TLP-SW replication factor by window size\n", p)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	header := "graph"
+	for _, mult := range windowMultipliers {
+		header += fmt.Sprintf("\t%gC\t(peak/swept)", mult)
+	}
+	fmt.Fprintln(tw, header)
+	var rows [][]string
+	for di, d := range cfg.Datasets {
+		row := d.Notation
+		for mi, mult := range windowMultipliers {
+			c := cells[di*len(windowMultipliers)+mi]
+			if c.skipped {
+				row += "\t-\t"
+				rows = append(rows, []string{d.Notation, fmt.Sprintf("%g", mult),
+					strconv.Itoa(p), "", "", "", "", ""})
+				continue
+			}
+			row += fmt.Sprintf("\t%.3f\t(%d/%d)", c.rf, c.stats.PeakWindowEdges, c.stats.SweptEdges)
+			rows = append(rows, []string{d.Notation, fmt.Sprintf("%g", mult),
+				strconv.Itoa(p), strconv.Itoa(c.win), fmt.Sprintf("%.4f", c.rf),
+				strconv.Itoa(c.stats.PeakWindowEdges), strconv.Itoa(c.stats.SweptEdges),
+				fmt.Sprintf("%.3f", c.seconds)})
+		}
+		fmt.Fprintln(tw, row)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("harness: flushing window ablation: %w", err)
+	}
+	return writeCSV(cfg, fmt.Sprintf("window_p%d.csv", p),
+		[]string{"dataset", "window_mult", "p", "window_edges", "rf", "peak_window", "swept", "seconds"}, rows)
+}

@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"github.com/graphpart/graphpart/internal/source"
+)
+
+// StreamPartitioner is the contract for partitioners that consume an edge
+// stream instead of a materialized graph. Implementations promise
+// O(p + maintained-state) memory beyond what the source itself holds —
+// typically O(n) vertex state (replica sets, degree sketches) but never
+// O(|E|) edge storage besides the returned Assignment.
+//
+// A partitioner may implement both interfaces; the graph-based Partition is
+// then equivalent to PartitionStream over a GraphSource in the
+// partitioner's configured order.
+type StreamPartitioner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// PartitionStream assigns every edge of src to one of p partitions.
+	// The source may be consumed multiple times (Reset) by multi-pass
+	// algorithms.
+	PartitionStream(src source.EdgeSource, p int) (*Assignment, error)
+}
+
+// StreamMetrics computes the paper's quality metrics from an EdgeSource
+// and a complete assignment, without a CSR. It matches Compute exactly for
+// any source that enumerates the edges of a simple graph once per pass
+// (vertex degrees are counted from the stream, which for a simple graph
+// equals the CSR degree). Requires p <= 64, which covers the paper's
+// evaluation range; larger p needs the graph-based path.
+func StreamMetrics(src source.EdgeSource, a *Assignment) (Metrics, error) {
+	p := a.P()
+	if p > 64 {
+		return Metrics{}, fmt.Errorf("partition: StreamMetrics requires p <= 64, got %d", p)
+	}
+	if a.NumEdges() != src.NumEdges() {
+		return Metrics{}, fmt.Errorf("partition: assignment covers %d edges, source has %d", a.NumEdges(), src.NumEdges())
+	}
+	if err := src.Reset(); err != nil {
+		return Metrics{}, fmt.Errorf("partition: resetting source for metrics: %w", err)
+	}
+	n := src.NumVertices()
+	seen := make([]uint64, n)
+	deg := make([]int64, n)
+	internal := make([]int64, p)
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			return Metrics{}, fmt.Errorf("partition: streaming metrics: %w", err)
+		}
+		if !ok {
+			break
+		}
+		k, assigned := a.PartitionOf(e.ID)
+		if !assigned {
+			return Metrics{}, fmt.Errorf("partition: edge %d unassigned", e.ID)
+		}
+		bit := uint64(1) << uint(k)
+		seen[e.U] |= bit
+		seen[e.V] |= bit
+		deg[e.U]++
+		deg[e.V]++
+		internal[k]++
+	}
+	m := Metrics{P: p, MinLoad: a.MinLoad(), MaxLoad: a.MaxLoad()}
+	replicas, spanned := replicaTotals(seen)
+	m.TotalReplicas, m.SpannedVertices = replicas, spanned
+	if n > 0 {
+		m.ReplicationFactor = float64(m.TotalReplicas) / float64(n)
+	}
+	if src.NumEdges() > 0 {
+		avg := float64(src.NumEdges()) / float64(p)
+		m.Balance = float64(m.MaxLoad) / avg
+	}
+	degSum := make([]int64, p)
+	for v := 0; v < n; v++ {
+		bits := seen[v]
+		for ; bits != 0; bits &= bits - 1 {
+			degSum[mathbits.TrailingZeros64(bits)] += deg[v]
+		}
+	}
+	m.Modularity = modularityFromCounts(internal, degSum)
+	return m, nil
+}
+
+// StreamReplicationFactor computes only RF from a stream; cheaper than
+// StreamMetrics when the other metrics are not needed.
+func StreamReplicationFactor(src source.EdgeSource, a *Assignment) (float64, error) {
+	m, err := StreamMetrics(src, a)
+	if err != nil {
+		return 0, err
+	}
+	return m.ReplicationFactor, nil
+}

@@ -1,0 +1,190 @@
+package source
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// FileConfig configures a file-backed edge source.
+type FileConfig struct {
+	// DenseIDs asserts the file's vertex ids are already dense integers in
+	// [0, n), so the interning map is skipped and resident memory stays
+	// O(1) in the number of distinct ids. With sparse ids the vertex
+	// count becomes maxID+1, which inflates O(n) partitioner state —
+	// leave it false for arbitrary SNAP files.
+	DenseIDs bool
+}
+
+// FileSource streams a SNAP-style edge-list file (gzipped when the path
+// ends in ".gz") without ever building a CSR. The format matches
+// graph.ReadEdgeList: '#'/'%' comments and blank lines skipped, extra
+// columns ignored. Self-loops are dropped; duplicate edges are kept (the
+// source has no global edge table to dedupe against — documented in
+// DESIGN.md). Edge IDs are assigned sequentially in file order, which
+// differs from the CSR's canonical sorted numbering.
+//
+// OpenFile runs one counting pass so NumVertices/NumEdges are exact; with
+// the default interning path the id map built there is retained across
+// Resets, so every pass sees identical dense ids. Call Close when done.
+type FileSource struct {
+	path string
+	cfg  FileConfig
+	n, m int
+	idm  *graph.IDMap // nil when cfg.DenseIDs
+
+	f       *os.File
+	gz      *gzip.Reader
+	sc      *bufio.Scanner
+	line    int
+	emitted int
+}
+
+var _ EdgeSource = (*FileSource)(nil)
+
+// OpenFile opens path as an EdgeSource, running the counting pass
+// immediately so the returned source reports exact sizes.
+func OpenFile(path string, cfg FileConfig) (*FileSource, error) {
+	s := &FileSource{path: path, cfg: cfg}
+	if !cfg.DenseIDs {
+		s.idm = graph.NewIDMap()
+	}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	var maxID int64 = -1
+	for s.sc.Scan() {
+		s.line++
+		u, v, skip, err := graph.ParseEdgeLine(s.sc.Text())
+		if err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("source: %s line %d: %w", path, s.line, err)
+		}
+		if skip || u == v {
+			continue
+		}
+		if s.idm != nil {
+			s.idm.Intern(u)
+			s.idm.Intern(v)
+		} else {
+			if u > math.MaxInt32 || v > math.MaxInt32 {
+				_ = s.Close()
+				return nil, fmt.Errorf("source: %s line %d: vertex id exceeds int32 (use interning, not DenseIDs)", path, s.line)
+			}
+			if u > maxID {
+				maxID = u
+			}
+			if v > maxID {
+				maxID = v
+			}
+		}
+		s.m++
+	}
+	if err := graph.ScanEdgeListError(s.sc.Err(), s.line); err != nil {
+		_ = s.Close()
+		return nil, fmt.Errorf("source: %s: %w", path, err)
+	}
+	if s.idm != nil {
+		s.n = s.idm.Len()
+	} else {
+		s.n = int(maxID + 1)
+	}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// open (re)opens the file and scanner for a fresh pass.
+func (s *FileSource) open() error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("source: opening %s: %w", s.path, err)
+	}
+	var r io.Reader = f
+	var gz *gzip.Reader
+	if strings.HasSuffix(s.path, ".gz") {
+		gz, err = gzip.NewReader(f)
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("source: gunzipping %s: %w", s.path, err)
+		}
+		r = gz
+	}
+	s.f, s.gz, s.sc = f, gz, graph.NewEdgeListScanner(r)
+	s.line, s.emitted = 0, 0
+	return nil
+}
+
+// Close releases the underlying file handle. The source cannot be used
+// afterwards.
+func (s *FileSource) Close() error {
+	var err error
+	if s.gz != nil {
+		err = s.gz.Close()
+		s.gz = nil
+	}
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+	}
+	s.sc = nil
+	return err
+}
+
+// NumVertices implements EdgeSource.
+func (s *FileSource) NumVertices() int { return s.n }
+
+// NumEdges implements EdgeSource.
+func (s *FileSource) NumEdges() int { return s.m }
+
+// Reset implements EdgeSource by reopening the file; the id map (when
+// interning) is retained so dense ids are stable across passes.
+func (s *FileSource) Reset() error {
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("source: closing %s for reset: %w", s.path, err)
+	}
+	return s.open()
+}
+
+// Next implements EdgeSource.
+func (s *FileSource) Next() (Edge, bool, error) {
+	if s.sc == nil {
+		return Edge{}, false, fmt.Errorf("source: %s: use after Close", s.path)
+	}
+	for s.sc.Scan() {
+		s.line++
+		u, v, skip, err := graph.ParseEdgeLine(s.sc.Text())
+		if err != nil {
+			return Edge{}, false, fmt.Errorf("source: %s line %d: %w", s.path, s.line, err)
+		}
+		if skip || u == v {
+			continue
+		}
+		var du, dv graph.Vertex
+		if s.idm != nil {
+			du, dv = s.idm.Intern(u), s.idm.Intern(v)
+		} else {
+			du, dv = graph.Vertex(u), graph.Vertex(v)
+		}
+		e := Edge{ID: graph.EdgeID(s.emitted), U: du, V: dv}
+		s.emitted++
+		return e, true, nil
+	}
+	if err := graph.ScanEdgeListError(s.sc.Err(), s.line); err != nil {
+		return Edge{}, false, fmt.Errorf("source: %s: %w", s.path, err)
+	}
+	return Edge{}, false, nil
+}
+
+// IDMap returns the original-to-dense id mapping built during the counting
+// pass, or nil when DenseIDs skipped interning.
+func (s *FileSource) IDMap() *graph.IDMap { return s.idm }

@@ -1,0 +1,58 @@
+package source
+
+import (
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// GenSource streams a synthetic dataset's edges without keeping its CSR
+// alive. Sizes are known up front from the dataset registry, so nothing is
+// generated until the first Next call; after generation only the compact
+// edge slice (8 bytes per edge) is retained and the CSR adjacency arrays
+// (~24 bytes per edge) become garbage. The generator still materializes a
+// full graph transiently — GenSource bounds steady-state memory, not peak
+// generation memory (DESIGN.md records this).
+type GenSource struct {
+	d     gen.Dataset
+	seed  uint64
+	edges []graph.Edge
+	pos   int
+}
+
+var _ EdgeSource = (*GenSource)(nil)
+
+// FromDataset wraps a synthetic dataset as an EdgeSource. Edges stream in
+// natural (canonical CSR) order; wrap with FromGraph for other orders if a
+// materialized graph is acceptable.
+func FromDataset(d gen.Dataset, seed uint64) *GenSource {
+	return &GenSource{d: d, seed: seed}
+}
+
+// NumVertices implements EdgeSource; known without generating.
+func (s *GenSource) NumVertices() int { return s.d.Vertices }
+
+// NumEdges implements EdgeSource; known without generating.
+func (s *GenSource) NumEdges() int { return s.d.Edges }
+
+// Reset implements EdgeSource. The generated edge slice is kept, so later
+// passes are free.
+func (s *GenSource) Reset() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements EdgeSource, generating the dataset on first use.
+func (s *GenSource) Next() (Edge, bool, error) {
+	if s.edges == nil {
+		// Edges() aliases only the CSR's edge array; dropping the graph
+		// itself lets the offset/adjacency arrays be collected.
+		s.edges = s.d.Generate(s.seed).Edges()
+	}
+	if s.pos >= len(s.edges) {
+		return Edge{}, false, nil
+	}
+	e := s.edges[s.pos]
+	id := graph.EdgeID(s.pos)
+	s.pos++
+	return Edge{ID: id, U: e.U, V: e.V}, true, nil
+}

@@ -3,10 +3,14 @@
 // partitioners PowerGraph-Greedy and HDRF as extensions.
 //
 // Edge streamers (Random, DBH, Greedy, HDRF) place each edge as it arrives
-// and never move it. Vertex streamers (LDG, FENNEL) place vertices and the
-// edge placement is derived the same way as for the METIS baseline. All
-// algorithms are deterministic for a fixed seed; the stream order is a
-// seeded shuffle of the edge list unless configured otherwise.
+// and never move it; they consume an arbitrary source.EdgeSource in
+// O(p + vertex-state) memory, so file-backed and generator-backed streams
+// partition without a CSR. Vertex streamers (LDG, FENNEL) place vertices
+// and derive the edge placement the same way as for the METIS baseline; on
+// a graph-backed source they use the exact legacy path, elsewhere a
+// documented two-pass degree-sketch variant. All algorithms are
+// deterministic for a fixed seed; the stream order of a graph-backed run is
+// a seeded shuffle of the edge list unless configured otherwise.
 package streaming
 
 import (
@@ -15,79 +19,31 @@ import (
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/source"
 )
 
-// Order selects how the stream is sequenced.
-type Order int
+// Order selects how the stream is sequenced; it is the canonical
+// source.Order, re-exported so existing callers keep compiling.
+type Order = source.Order
 
 const (
 	// OrderShuffled streams edges/vertices in a seeded random order
 	// (the common evaluation setting; arrival order is adversarial
 	// otherwise).
-	OrderShuffled Order = iota + 1
+	OrderShuffled = source.OrderShuffled
 	// OrderNatural streams in EdgeID/vertex-id order.
-	OrderNatural
+	OrderNatural = source.OrderNatural
 	// OrderBFS streams in breadth-first order from a seeded random root,
 	// component by component (matches how crawled graphs arrive).
-	OrderBFS
+	OrderBFS = source.OrderBFS
 )
 
-// EdgeStream yields the graph's EdgeIDs in the given order; exported for
-// the sliding-window partitioner and tests.
+// EdgeStream yields the graph's EdgeIDs in the given order; it delegates to
+// source.EdgeOrder, the one canonical permutation, so the slice path and
+// the EdgeSource path cannot drift apart. Retained for the sliding-window
+// partitioner and tests.
 func EdgeStream(g *graph.Graph, ord Order, seed uint64) []graph.EdgeID {
-	m := g.NumEdges()
-	ids := make([]graph.EdgeID, m)
-	for i := range ids {
-		ids[i] = graph.EdgeID(i)
-	}
-	switch ord {
-	case OrderNatural:
-	case OrderBFS:
-		ids = ids[:0]
-		r := rng.New(seed)
-		seen := make([]bool, m)
-		order := vertexBFSOrder(g, r)
-		for _, v := range order {
-			for _, eid := range g.IncidentEdges(v) {
-				if !seen[eid] {
-					seen[eid] = true
-					ids = append(ids, eid)
-				}
-			}
-		}
-	default: // OrderShuffled
-		r := rng.New(seed)
-		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	}
-	return ids
-}
-
-// vertexBFSOrder returns all vertices in BFS order from random roots.
-func vertexBFSOrder(g *graph.Graph, r *rng.RNG) []graph.Vertex {
-	n := g.NumVertices()
-	seen := make([]bool, n)
-	order := make([]graph.Vertex, 0, n)
-	perm := r.Perm(n)
-	var queue []graph.Vertex
-	for _, root := range perm {
-		if seen[root] {
-			continue
-		}
-		seen[root] = true
-		queue = append(queue[:0], graph.Vertex(root))
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
-			for _, w := range g.Neighbors(v) {
-				if !seen[w] {
-					seen[w] = true
-					queue = append(queue, w)
-				}
-			}
-		}
-	}
-	return order
+	return source.EdgeOrder(g, ord, seed)
 }
 
 // replicaSets tracks, per vertex, the set of partitions holding a replica.
@@ -139,7 +95,7 @@ func (rs *replicaSets) count(v graph.Vertex) int {
 	return len(rs.maps[v])
 }
 
-// common validates inputs shared by all partitioners here.
+// validateInput checks inputs shared by the graph-based entry points.
 func validateInput(g *graph.Graph, p int) error {
 	if g == nil {
 		return fmt.Errorf("streaming: nil graph")
@@ -150,13 +106,44 @@ func validateInput(g *graph.Graph, p int) error {
 	return nil
 }
 
+// validateSource checks inputs shared by the stream entry points.
+func validateSource(src source.EdgeSource, p int) error {
+	if src == nil {
+		return fmt.Errorf("streaming: nil edge source")
+	}
+	if p < 1 {
+		return fmt.Errorf("streaming: need at least one partition, got %d", p)
+	}
+	return nil
+}
+
+// forEachEdge resets src and applies fn to every edge.
+func forEachEdge(src source.EdgeSource, fn func(e source.Edge)) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("streaming: resetting source: %w", err)
+	}
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			return fmt.Errorf("streaming: reading source: %w", err)
+		}
+		if !ok {
+			return nil
+		}
+		fn(e)
+	}
+}
+
 // Random assigns each edge to a uniformly random partition (hash of the
 // edge id), the paper's lower-bound baseline.
 type Random struct {
 	seed uint64
 }
 
-var _ partition.Partitioner = (*Random)(nil)
+var (
+	_ partition.Partitioner       = (*Random)(nil)
+	_ partition.StreamPartitioner = (*Random)(nil)
+)
 
 // NewRandom returns the Random baseline.
 func NewRandom(seed uint64) *Random { return &Random{seed: seed} }
@@ -169,13 +156,25 @@ func (x *Random) Partition(g *graph.Graph, p int) (*partition.Assignment, error)
 	if err := validateInput(g, p); err != nil {
 		return nil, err
 	}
-	a, err := partition.New(g.NumEdges(), p)
+	return x.PartitionStream(source.FromGraph(g, source.OrderNatural, x.seed), p)
+}
+
+// PartitionStream implements partition.StreamPartitioner. The placement is
+// a pure hash of the edge id, so it is independent of arrival order and
+// identical to the graph path. Memory: O(p) beyond the assignment.
+func (x *Random) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(src.NumEdges(), p)
 	if err != nil {
 		return nil, err
 	}
-	for id := 0; id < g.NumEdges(); id++ {
-		k := int(rng.Hash2(x.seed, uint64(id)) % uint64(p))
-		a.Assign(graph.EdgeID(id), k)
+	err = forEachEdge(src, func(e source.Edge) {
+		a.Assign(e.ID, int(rng.Hash2(x.seed, uint64(e.ID))%uint64(p)))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a, nil
 }
@@ -187,7 +186,10 @@ type DBH struct {
 	seed uint64
 }
 
-var _ partition.Partitioner = (*DBH)(nil)
+var (
+	_ partition.Partitioner       = (*DBH)(nil)
+	_ partition.StreamPartitioner = (*DBH)(nil)
+)
 
 // NewDBH returns the DBH baseline.
 func NewDBH(seed uint64) *DBH { return &DBH{seed: seed} }
@@ -200,18 +202,38 @@ func (x *DBH) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
 	if err := validateInput(g, p); err != nil {
 		return nil, err
 	}
-	a, err := partition.New(g.NumEdges(), p)
+	return x.PartitionStream(source.FromGraph(g, source.OrderNatural, x.seed), p)
+}
+
+// PartitionStream implements partition.StreamPartitioner with two passes:
+// one to count degrees, one to hash each edge on its lower-degree endpoint.
+// On a simple-graph source the streamed degrees equal CSR degrees, so the
+// result is identical to the graph path. Memory: O(n) degree counters.
+func (x *DBH) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(src.NumEdges(), p)
 	if err != nil {
 		return nil, err
 	}
-	for id, e := range g.Edges() {
+	deg := make([]int32, src.NumVertices())
+	err = forEachEdge(src, func(e source.Edge) {
+		deg[e.U]++
+		deg[e.V]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = forEachEdge(src, func(e source.Edge) {
 		lo := e.U
-		if g.Degree(e.V) < g.Degree(e.U) ||
-			(g.Degree(e.V) == g.Degree(e.U) && e.V < e.U) {
+		if deg[e.V] < deg[e.U] || (deg[e.V] == deg[e.U] && e.V < e.U) {
 			lo = e.V
 		}
-		k := int(rng.Hash2(x.seed, uint64(lo)) % uint64(p))
-		a.Assign(graph.EdgeID(id), k)
+		a.Assign(e.ID, int(rng.Hash2(x.seed, uint64(lo))%uint64(p)))
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a, nil
 }
@@ -224,7 +246,10 @@ type Greedy struct {
 	order Order
 }
 
-var _ partition.Partitioner = (*Greedy)(nil)
+var (
+	_ partition.Partitioner       = (*Greedy)(nil)
+	_ partition.StreamPartitioner = (*Greedy)(nil)
+)
 
 // NewGreedy returns the PowerGraph-style greedy streamer.
 func NewGreedy(seed uint64, order Order) *Greedy {
@@ -237,28 +262,41 @@ func NewGreedy(seed uint64, order Order) *Greedy {
 // Name implements partition.Partitioner.
 func (x *Greedy) Name() string { return "Greedy" }
 
-// Partition implements partition.Partitioner.
+// Partition implements partition.Partitioner by streaming a graph-backed
+// source in the configured order.
 func (x *Greedy) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
 	if err := validateInput(g, p); err != nil {
 		return nil, err
 	}
-	a, err := partition.New(g.NumEdges(), p)
+	return x.PartitionStream(source.FromGraph(g, x.order, x.seed), p)
+}
+
+// PartitionStream implements partition.StreamPartitioner, placing edges in
+// the source's arrival order. Memory: O(n) replica bitsets (p <= 64) plus
+// O(p) loads.
+func (x *Greedy) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(src.NumEdges(), p)
 	if err != nil {
 		return nil, err
 	}
-	rs := newReplicaSets(g.NumVertices(), p)
-	for _, eid := range EdgeStream(g, x.order, x.seed) {
-		e := g.Edge(eid)
+	rs := newReplicaSets(src.NumVertices(), p)
+	err = forEachEdge(src, func(e source.Edge) {
 		k := greedyChoose(a, rs, e, p)
-		a.Assign(eid, k)
+		a.Assign(e.ID, k)
 		rs.add(e.U, k)
 		rs.add(e.V, k)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a, nil
 }
 
 // greedyChoose applies the PowerGraph case analysis for edge e.
-func greedyChoose(a *partition.Assignment, rs *replicaSets, e graph.Edge, p int) int {
+func greedyChoose(a *partition.Assignment, rs *replicaSets, e source.Edge, p int) int {
 	cu, cv := rs.count(e.U), rs.count(e.V)
 	switch {
 	case cu > 0 && cv > 0:
@@ -323,7 +361,10 @@ type HDRF struct {
 	lambda float64
 }
 
-var _ partition.Partitioner = (*HDRF)(nil)
+var (
+	_ partition.Partitioner       = (*HDRF)(nil)
+	_ partition.StreamPartitioner = (*HDRF)(nil)
+)
 
 // NewHDRF returns an HDRF streamer; lambda <= 0 defaults to 1.0.
 func NewHDRF(seed uint64, order Order, lambda float64) *HDRF {
@@ -339,32 +380,43 @@ func NewHDRF(seed uint64, order Order, lambda float64) *HDRF {
 // Name implements partition.Partitioner.
 func (x *HDRF) Name() string { return "HDRF" }
 
-// Partition implements partition.Partitioner.
+// Partition implements partition.Partitioner by streaming a graph-backed
+// source in the configured order.
 func (x *HDRF) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
 	if err := validateInput(g, p); err != nil {
 		return nil, err
 	}
-	a, err := partition.New(g.NumEdges(), p)
+	return x.PartitionStream(source.FromGraph(g, x.order, x.seed), p)
+}
+
+// PartitionStream implements partition.StreamPartitioner. Partial degrees
+// are accumulated as edges arrive (the streaming setting does not know
+// final degrees). Memory: O(n) replica bitsets and degree counters.
+func (x *HDRF) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	a, err := partition.New(src.NumEdges(), p)
 	if err != nil {
 		return nil, err
 	}
-	rs := newReplicaSets(g.NumVertices(), p)
-	// Partial degrees observed so far in the stream (the streaming
-	// setting does not know final degrees).
-	pdeg := make([]int32, g.NumVertices())
-	for _, eid := range EdgeStream(g, x.order, x.seed) {
-		e := g.Edge(eid)
+	rs := newReplicaSets(src.NumVertices(), p)
+	pdeg := make([]int32, src.NumVertices())
+	err = forEachEdge(src, func(e source.Edge) {
 		pdeg[e.U]++
 		pdeg[e.V]++
 		k := x.choose(a, rs, e, p, pdeg)
-		a.Assign(eid, k)
+		a.Assign(e.ID, k)
 		rs.add(e.U, k)
 		rs.add(e.V, k)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return a, nil
 }
 
-func (x *HDRF) choose(a *partition.Assignment, rs *replicaSets, e graph.Edge, p int, pdeg []int32) int {
+func (x *HDRF) choose(a *partition.Assignment, rs *replicaSets, e source.Edge, p int, pdeg []int32) int {
 	du, dv := float64(pdeg[e.U]), float64(pdeg[e.V])
 	thetaU := du / (du + dv)
 	thetaV := 1 - thetaU

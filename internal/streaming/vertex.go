@@ -1,25 +1,37 @@
 package streaming
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/source"
 )
+
+// graphBacked is implemented by sources wrapping a materialized graph
+// (source.GraphSource). Vertex streamers use it to keep their legacy
+// byte-identical path; everything else runs the degree-sketch variant.
+type graphBacked interface {
+	Graph() *graph.Graph
+}
 
 // LDG is the Linear Deterministic Greedy streaming vertex partitioner
 // (Stanton & Kliot, KDD 2012): each arriving vertex goes to the partition
 // holding most of its already-placed neighbours, damped by a load penalty
 // (1 - |P_i| / C). The edge partitioning is then derived from the vertex
-// partition the same way as for METIS.
+// partition the same way as for the METIS baseline.
 type LDG struct {
 	seed  uint64
 	order Order
 }
 
-var _ partition.Partitioner = (*LDG)(nil)
+var (
+	_ partition.Partitioner       = (*LDG)(nil)
+	_ partition.StreamPartitioner = (*LDG)(nil)
+)
 
 // NewLDG returns an LDG streamer.
 func NewLDG(seed uint64, order Order) *LDG {
@@ -39,6 +51,39 @@ func (x *LDG) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
 		return nil, err
 	}
 	return metis.DeriveEdgePartition(g, labels, p)
+}
+
+// PartitionStream implements partition.StreamPartitioner. Graph-backed
+// sources take the exact legacy path (byte-identical results); true edge
+// streams run the two-pass degree-sketch variant (see streamVertexLabels),
+// which approximates vertex adjacency from the edge stream in O(n·p)
+// memory without a CSR.
+func (x *LDG) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	if gb, ok := src.(graphBacked); ok {
+		return x.Partition(gb.Graph(), p)
+	}
+	n := src.NumVertices()
+	capV := float64(n)/float64(p) + 1
+	labels, err := streamVertexLabels(src, p, func(row []int32, loads []int) int {
+		best, bestScore := 0, math.Inf(-1)
+		for k := 0; k < p; k++ {
+			score := float64(row[k]) * (1 - float64(loads[k])/capV)
+			if loads[k] >= int(capV) {
+				score = math.Inf(-1) // full
+			}
+			if score > bestScore || (score == bestScore && loads[k] < loads[best]) {
+				best, bestScore = k, score
+			}
+		}
+		return best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deriveStreamEdges(src, labels, p)
 }
 
 // VertexPartition streams the vertices and returns their part labels.
@@ -89,7 +134,7 @@ func (x *LDG) vertexOrder(g *graph.Graph) []graph.Vertex {
 		}
 		return out
 	case OrderBFS:
-		return vertexBFSOrder(g, rng.New(x.seed))
+		return source.VertexBFSOrder(g, rng.New(x.seed))
 	default:
 		r := rng.New(x.seed)
 		perm := r.Perm(n)
@@ -110,7 +155,10 @@ type FENNEL struct {
 	gamma float64
 }
 
-var _ partition.Partitioner = (*FENNEL)(nil)
+var (
+	_ partition.Partitioner       = (*FENNEL)(nil)
+	_ partition.StreamPartitioner = (*FENNEL)(nil)
+)
 
 // NewFENNEL returns a FENNEL streamer; gamma <= 1 defaults to 1.5.
 func NewFENNEL(seed uint64, order Order, gamma float64) *FENNEL {
@@ -133,6 +181,42 @@ func (x *FENNEL) Partition(g *graph.Graph, p int) (*partition.Assignment, error)
 		return nil, err
 	}
 	return metis.DeriveEdgePartition(g, labels, p)
+}
+
+// PartitionStream implements partition.StreamPartitioner; see
+// LDG.PartitionStream for the graph fast path / degree-sketch split.
+func (x *FENNEL) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	if err := validateSource(src, p); err != nil {
+		return nil, err
+	}
+	if gb, ok := src.(graphBacked); ok {
+		return x.Partition(gb.Graph(), p)
+	}
+	n, m := src.NumVertices(), src.NumEdges()
+	gamma := x.gamma
+	alpha := math.Sqrt(float64(p)) * float64(m) / math.Pow(float64(n), gamma)
+	if alpha <= 0 || math.IsNaN(alpha) {
+		alpha = 1
+	}
+	const nu = 1.1
+	capV := int(nu*float64(n)/float64(p)) + 1
+	labels, err := streamVertexLabels(src, p, func(row []int32, loads []int) int {
+		best, bestScore := 0, math.Inf(-1)
+		for k := 0; k < p; k++ {
+			if loads[k] >= capV {
+				continue
+			}
+			score := float64(row[k]) - alpha*gamma*math.Pow(float64(loads[k]), gamma-1)
+			if score > bestScore || (score == bestScore && loads[k] < loads[best]) {
+				best, bestScore = k, score
+			}
+		}
+		return best
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deriveStreamEdges(src, labels, p)
 }
 
 // VertexPartition streams the vertices and returns their part labels.
@@ -181,4 +265,108 @@ func (x *FENNEL) VertexPartition(g *graph.Graph, p int) ([]int32, error) {
 		loads[best]++
 	}
 	return labels, nil
+}
+
+// streamVertexLabels is the two-pass degree-sketch vertex placement used by
+// LDG/FENNEL on true edge streams, where vertex adjacency lists are not
+// available.
+//
+// Pass 1 counts degrees. Pass 2 replays the stream and places a vertex the
+// moment its last incident edge arrives ("stream completion order" — a
+// different arrival order from the configured vertex order, so results
+// differ from the graph path by design). Placed-neighbour counts are
+// maintained in an n×p matrix (documented O(n·p) memory): when an edge
+// arrives with one endpoint already placed, the other endpoint is credited
+// immediately; when placing an endpoint completes, the current edge's other
+// endpoint is credited afterwards. Edges between two vertices that are both
+// unplaced when the edge passes — and stay unplaced — are the sketch's
+// information loss. Degree-0 vertices are swept in id order at the end.
+// A final pass derives the edge placement (deriveStreamEdges).
+func streamVertexLabels(src source.EdgeSource, p int, choose func(row []int32, loads []int) int) ([]int32, error) {
+	n := src.NumVertices()
+	deg := make([]int32, n)
+	err := forEachEdge(src, func(e source.Edge) {
+		deg[e.U]++
+		deg[e.V]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	loads := make([]int, p)
+	nbrIn := make([]int32, n*p)
+	remaining := deg // pass 2 counts the same array back down to zero
+	place := func(v graph.Vertex) {
+		row := nbrIn[int(v)*p : int(v)*p+p]
+		k := choose(row, loads)
+		labels[v] = int32(k)
+		loads[k]++
+	}
+	credit := func(v graph.Vertex, from graph.Vertex) {
+		if labels[v] < 0 {
+			nbrIn[int(v)*p+int(labels[from])]++
+		}
+	}
+	err = forEachEdge(src, func(e source.Edge) {
+		remaining[e.U]--
+		remaining[e.V]--
+		if labels[e.U] >= 0 {
+			credit(e.V, e.U)
+		}
+		if labels[e.V] >= 0 {
+			credit(e.U, e.V)
+		}
+		if labels[e.U] < 0 && remaining[e.U] == 0 {
+			place(e.U)
+			credit(e.V, e.U)
+		}
+		if labels[e.V] < 0 && remaining[e.V] == 0 {
+			place(e.V)
+			credit(e.U, e.V)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] < 0 { // degree-0 vertices never complete
+			place(graph.Vertex(v))
+		}
+	}
+	return labels, nil
+}
+
+// deriveStreamEdges assigns each streamed edge to the lighter-loaded of its
+// endpoints' parts, the same rule as metis.DeriveEdgePartition but driven
+// by the stream instead of the CSR edge array.
+func deriveStreamEdges(src source.EdgeSource, labels []int32, p int) (*partition.Assignment, error) {
+	a, err := partition.New(src.NumEdges(), p)
+	if err != nil {
+		return nil, err
+	}
+	var badEdge error
+	err = forEachEdge(src, func(e source.Edge) {
+		ku, kv := labels[e.U], labels[e.V]
+		if ku < 0 || int(ku) >= p || kv < 0 || int(kv) >= p {
+			if badEdge == nil {
+				badEdge = fmt.Errorf("streaming: label out of range for edge %d", e.ID)
+			}
+			return
+		}
+		k := ku
+		if ku != kv && a.Load(int(kv)) < a.Load(int(ku)) {
+			k = kv
+		}
+		a.Assign(e.ID, int(k))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if badEdge != nil {
+		return nil, badEdge
+	}
+	return a, nil
 }

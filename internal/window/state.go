@@ -1,6 +1,8 @@
 package window
 
 import (
+	"sort"
+
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
@@ -42,6 +44,11 @@ type windowState struct {
 	// mu1; an epoch bump invalidates all marks without clearing.
 	markMap   map[graph.Vertex]int32
 	markEpoch int32
+
+	// Stats counters (reported via window.Stats).
+	peakWindow int // largest windowEdges ever observed
+	refills    int // refill rounds that pulled at least one edge
+	streamed   int // edges received from the stream
 }
 
 func newWindowState(numVertices int, seed uint64) *windowState {
@@ -60,12 +67,17 @@ func newWindowState(numVertices int, seed uint64) *windowState {
 // edges or the stream closes. New edges incident to current members extend
 // the frontier and eout.
 func (st *windowState) refill(stream <-chan StreamEdge, windowCap int) {
+	pulled := false
 	for st.windowEdges < windowCap {
 		e, ok := <-stream
 		if !ok {
-			return
+			break
 		}
 		st.addEdge(e)
+		pulled = true
+	}
+	if pulled {
+		st.refills++
 	}
 }
 
@@ -83,6 +95,10 @@ func (st *windowState) addEdge(e StreamEdge) {
 	st.liveDeg[e.U]++
 	st.liveDeg[e.V]++
 	st.windowEdges++
+	st.streamed++
+	if st.windowEdges > st.peakWindow {
+		st.peakWindow = st.windowEdges
+	}
 	st.seedStack = append(st.seedStack, e.U)
 	um, vm := st.isMember(e.U), st.isMember(e.V)
 	switch {
@@ -130,6 +146,8 @@ func (st *windowState) pickSeed() (graph.Vertex, bool) {
 			return v, true
 		}
 	}
+	// Map iteration order is randomised; sort the refilled stack so seed
+	// selection (and with it the whole run) is deterministic.
 	for v, d := range st.liveDeg {
 		if d > 0 && !st.isMember(v) {
 			st.seedStack = append(st.seedStack, v)
@@ -138,6 +156,7 @@ func (st *windowState) pickSeed() (graph.Vertex, bool) {
 	if len(st.seedStack) == 0 {
 		return 0, false
 	}
+	sort.Slice(st.seedStack, func(i, j int) bool { return st.seedStack[i] < st.seedStack[j] })
 	return st.pickSeed()
 }
 
@@ -149,10 +168,17 @@ func (st *windowState) absorbMemberEdges(a *partition.Assignment, k, room int) i
 		return 0
 	}
 	assigned := 0
-	for v, arcs := range st.adj {
-		if !st.isMember(v) {
-			continue
+	// Sorted member order keeps the run deterministic under Go's
+	// randomised map iteration.
+	members := make([]graph.Vertex, 0, len(st.adj))
+	for v := range st.adj {
+		if st.isMember(v) {
+			members = append(members, v)
 		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, v := range members {
+		arcs := st.adj[v]
 		for i := range arcs {
 			if assigned >= room {
 				return assigned

@@ -12,22 +12,24 @@
 // quality degrades gracefully as the window shrinks; compared to streaming
 // partitioners, placement still happens cluster-at-a-time rather than
 // edge-at-a-time.
+//
+// The stream itself comes from a source.EdgeSource — in-memory, file-backed
+// or generator-backed — so the partitioner's resident memory is the window
+// plus O(n) vertex bookkeeping, never the full edge set.
 package window
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
-	"github.com/graphpart/graphpart/internal/streaming"
+	"github.com/graphpart/graphpart/internal/source"
 )
 
 // StreamEdge is one edge of the input stream, carrying the EdgeID used in
-// the resulting Assignment.
-type StreamEdge struct {
-	ID   graph.EdgeID
-	U, V graph.Vertex
-}
+// the resulting Assignment. It is the canonical source.Edge.
+type StreamEdge = source.Edge
 
 // Config tunes the sliding-window partitioner.
 type Config struct {
@@ -38,7 +40,25 @@ type Config struct {
 	WindowEdges int
 	// Order selects how Partition streams the graph's edges; zero means
 	// BFS order (the order the paper's future-work sketch prescribes).
-	Order streaming.Order
+	Order source.Order
+}
+
+// Stats reports the window behaviour of one partitioning run, making
+// window-size ablations measurable.
+type Stats struct {
+	// PeakWindowEdges is the largest number of edges simultaneously
+	// resident in the window, including the final drain.
+	PeakWindowEdges int
+	// Refills counts refill rounds that pulled at least one edge from the
+	// stream.
+	Refills int
+	// StreamedEdges counts edges received from the stream.
+	StreamedEdges int
+	// SweptEdges counts edges the final least-load sweep had to place —
+	// edges evicted from window growth rather than absorbed by a
+	// partition (stream remainder beyond capacity rounding, or stranded
+	// window edges).
+	SweptEdges int
 }
 
 // Partitioner is the sliding-window TLP variant.
@@ -46,7 +66,10 @@ type Partitioner struct {
 	cfg Config
 }
 
-var _ partition.Partitioner = (*Partitioner)(nil)
+var (
+	_ partition.Partitioner       = (*Partitioner)(nil)
+	_ partition.StreamPartitioner = (*Partitioner)(nil)
+)
 
 // New returns a sliding-window partitioner.
 func New(cfg Config) *Partitioner { return &Partitioner{cfg: cfg} }
@@ -55,38 +78,79 @@ func New(cfg Config) *Partitioner { return &Partitioner{cfg: cfg} }
 func (w *Partitioner) Name() string { return "TLP-SW" }
 
 // Partition streams g's edges through the window and returns a complete
-// assignment. The producer goroutine feeding the stream runs concurrently
-// with the consumer, as the paper's future-work sketch suggests.
+// assignment; it is PartitionStream over a graph-backed source in the
+// configured order.
 func (w *Partitioner) Partition(g *graph.Graph, p int) (*partition.Assignment, error) {
 	if g == nil {
 		return nil, fmt.Errorf("window: nil graph")
 	}
 	ord := w.cfg.Order
 	if ord == 0 {
-		ord = streaming.OrderBFS
+		ord = source.OrderBFS
 	}
-	ids := streaming.EdgeStream(g, ord, w.cfg.Seed)
-	stream := make(chan StreamEdge, 1024)
-	go func() {
-		defer close(stream)
-		for _, id := range ids {
-			e := g.Edge(id)
-			stream <- StreamEdge{ID: id, U: e.U, V: e.V}
-		}
-	}()
-	return w.PartitionStream(stream, g.NumVertices(), g.NumEdges(), p)
+	return w.PartitionStream(source.FromGraph(g, ord, w.cfg.Seed), p)
 }
 
-// PartitionStream consumes an edge stream for a graph with the given vertex
-// and edge counts, assigning every streamed edge to one of p partitions.
-// Every EdgeID in [0, numEdges) must appear exactly once on the stream.
-func (w *Partitioner) PartitionStream(stream <-chan StreamEdge, numVertices, numEdges, p int) (*partition.Assignment, error) {
+// PartitionStream implements partition.StreamPartitioner.
+func (w *Partitioner) PartitionStream(src source.EdgeSource, p int) (*partition.Assignment, error) {
+	a, _, err := w.PartitionStreamStats(src, p)
+	return a, err
+}
+
+// PartitionStreamStats is PartitionStream plus the window Stats of the run.
+// A producer goroutine feeds the window from the source concurrently with
+// the partitioner, as the paper's future-work sketch suggests.
+func (w *Partitioner) PartitionStreamStats(src source.EdgeSource, p int) (*partition.Assignment, Stats, error) {
+	if src == nil {
+		return nil, Stats{}, fmt.Errorf("window: nil edge source")
+	}
+	if err := src.Reset(); err != nil {
+		return nil, Stats{}, fmt.Errorf("window: resetting source: %w", err)
+	}
+	stream := make(chan StreamEdge, 1024)
+	var produceErr error
+	go func() {
+		// produceErr is written before close(stream); the consumer only
+		// reads it after observing the close, which the Go memory model
+		// orders after this write.
+		defer close(stream)
+		for {
+			e, ok, err := src.Next()
+			if err != nil {
+				produceErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			stream <- e
+		}
+	}()
+	a, stats, err := w.PartitionChannel(stream, src.NumVertices(), src.NumEdges(), p)
+	if err != nil {
+		// Unblock the producer before returning so it never leaks.
+		for range stream {
+		}
+		return nil, stats, err
+	}
+	if produceErr != nil {
+		return nil, stats, fmt.Errorf("window: edge source: %w", produceErr)
+	}
+	return a, stats, nil
+}
+
+// PartitionChannel consumes an edge stream for a graph with the given
+// vertex and edge counts, assigning every streamed edge to one of p
+// partitions. Every EdgeID in [0, numEdges) must appear exactly once on the
+// stream. This is the lower-level channel API; PartitionStream wires an
+// EdgeSource to it.
+func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, numEdges, p int) (*partition.Assignment, Stats, error) {
 	a, err := partition.New(numEdges, p)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	if numEdges == 0 {
-		return a, nil
+		return a, Stats{}, nil
 	}
 	capC := partition.Capacity(numEdges, p)
 	windowCap := w.cfg.WindowEdges
@@ -158,21 +222,39 @@ func (w *Partitioner) PartitionStream(stream <-chan StreamEdge, numVertices, num
 	// Any edges still unassigned (stream remainder beyond total capacity
 	// rounding, or stranded window edges) sweep to the lightest loads.
 	st.drain(stream)
+	// Collect the stragglers and sweep them in EdgeID order: map iteration
+	// order is randomised, and the least-load rule depends on the order
+	// edges are placed, so the sweep must not follow it.
+	var leftover []graph.EdgeID
 	for _, arcs := range st.adj {
 		for _, arc := range arcs {
-			if arc.dead {
-				continue
-			}
-			if !a.IsAssigned(arc.eid) {
-				best := 0
-				for k := 1; k < p; k++ {
-					if a.Load(k) < a.Load(best) {
-						best = k
-					}
-				}
-				a.Assign(arc.eid, best)
+			if !arc.dead && !a.IsAssigned(arc.eid) {
+				leftover = append(leftover, arc.eid)
 			}
 		}
 	}
-	return a, nil
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	swept := 0
+	var prev graph.EdgeID
+	for i, eid := range leftover {
+		if i > 0 && eid == prev {
+			continue // each live edge appears in both endpoints' arc lists
+		}
+		prev = eid
+		best := 0
+		for k := 1; k < p; k++ {
+			if a.Load(k) < a.Load(best) {
+				best = k
+			}
+		}
+		a.Assign(eid, best)
+		swept++
+	}
+	stats := Stats{
+		PeakWindowEdges: st.peakWindow,
+		Refills:         st.refills,
+		StreamedEdges:   st.streamed,
+		SweptEdges:      swept,
+	}
+	return a, stats, nil
 }

@@ -1,6 +1,7 @@
 package window
 
 import (
+	"path/filepath"
 	"testing"
 	"testing/quick"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
+	"github.com/graphpart/graphpart/internal/source"
 	"github.com/graphpart/graphpart/internal/streaming"
 )
 
@@ -155,7 +157,7 @@ func TestWindowWiderIsBetter(t *testing.T) {
 	}
 }
 
-func TestWindowStreamAPIDirect(t *testing.T) {
+func TestWindowChannelAPIDirect(t *testing.T) {
 	g := randomGraph(12, 100, 200)
 	stream := make(chan StreamEdge, 16)
 	go func() {
@@ -164,20 +166,113 @@ func TestWindowStreamAPIDirect(t *testing.T) {
 			stream <- StreamEdge{ID: graph.EdgeID(id), U: e.U, V: e.V}
 		}
 	}()
-	a, err := New(Config{Seed: 13}).PartitionStream(stream, g.NumVertices(), g.NumEdges(), 4)
+	a, stats, err := New(Config{Seed: 13}).PartitionChannel(stream, g.NumVertices(), g.NumEdges(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
 		t.Fatalf("stream API invalid: %v", err)
 	}
+	if stats.StreamedEdges != g.NumEdges() {
+		t.Fatalf("stats counted %d streamed edges, want %d", stats.StreamedEdges, g.NumEdges())
+	}
 }
 
 func TestWindowRejectsBadP(t *testing.T) {
 	stream := make(chan StreamEdge)
 	close(stream)
-	if _, err := New(Config{}).PartitionStream(stream, 5, 0, 0); err == nil {
+	if _, _, err := New(Config{}).PartitionChannel(stream, 5, 0, 0); err == nil {
 		t.Fatal("p=0 accepted")
+	}
+}
+
+// TestWindowSourceMatchesGraphPath: Partition and PartitionStream over the
+// equivalent graph-backed source must agree byte for byte — the EdgeSource
+// rewiring must not change results.
+func TestWindowSourceMatchesGraphPath(t *testing.T) {
+	g := randomGraph(15, 200, 500)
+	for _, ord := range []source.Order{source.OrderBFS, source.OrderShuffled, source.OrderNatural} {
+		w := New(Config{Seed: 16, Order: ord})
+		a, err := w.Partition(g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.PartitionStream(source.FromGraph(g, ord, 16), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < g.NumEdges(); id++ {
+			ka, _ := a.PartitionOf(graph.EdgeID(id))
+			kb, _ := b.PartitionOf(graph.EdgeID(id))
+			if ka != kb {
+				t.Fatalf("order %d: edge %d placed %d vs %d", ord, id, ka, kb)
+			}
+		}
+	}
+}
+
+// TestWindowStats checks the reported stats are consistent with the run:
+// every edge streamed, peak bounded by the configured window during growth
+// (plus the final drain's remainder), swept edges small.
+func TestWindowStats(t *testing.T) {
+	g := randomGraph(17, 300, 900)
+	const win = 128
+	w := New(Config{Seed: 18, WindowEdges: win})
+	a, stats, err := w.PartitionStreamStats(source.FromGraph(g, source.OrderBFS, 18), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.StreamedEdges != g.NumEdges() {
+		t.Fatalf("streamed %d edges, want %d", stats.StreamedEdges, g.NumEdges())
+	}
+	if stats.PeakWindowEdges < 1 || stats.PeakWindowEdges > g.NumEdges() {
+		t.Fatalf("implausible peak window %d", stats.PeakWindowEdges)
+	}
+	if stats.Refills < 1 {
+		t.Fatalf("no refills recorded for a %d-edge stream with window %d", g.NumEdges(), win)
+	}
+	if stats.SweptEdges > g.NumEdges()/2 {
+		t.Fatalf("%d of %d edges swept — window growth did almost nothing", stats.SweptEdges, g.NumEdges())
+	}
+}
+
+// TestWindowFileSource runs TLP-SW end-to-end from a file-backed source.
+func TestWindowFileSource(t *testing.T) {
+	g := randomGraph(19, 150, 400)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.SaveEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := source.OpenFile(path, source.FileConfig{DenseIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = src.Close() }()
+	a, stats, err := New(Config{Seed: 20}).PartitionStreamStats(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.AssignedCount(); got != g.NumEdges() {
+		t.Fatalf("%d of %d edges assigned", got, g.NumEdges())
+	}
+	if stats.StreamedEdges != g.NumEdges() {
+		t.Fatalf("streamed %d, want %d", stats.StreamedEdges, g.NumEdges())
+	}
+	// A natural-order file stream matches the natural-order graph path.
+	b, err := New(Config{Seed: 20, Order: source.OrderNatural}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b // file order is natural; assert equality edge by edge
+	for id := 0; id < g.NumEdges(); id++ {
+		ka, _ := a.PartitionOf(graph.EdgeID(id))
+		kb, _ := b.PartitionOf(graph.EdgeID(id))
+		if ka != kb {
+			t.Fatalf("edge %d placed %d via file vs %d via graph", id, ka, kb)
+		}
 	}
 }
 

@@ -65,8 +65,10 @@ type SlidingWindowConfig = window.Config
 
 // NewSlidingTLP returns the sliding-window TLP variant: it partitions an
 // edge stream holding only a bounded window of unassigned edges in memory
-// (Section V future work of the paper).
-func NewSlidingTLP(cfg SlidingWindowConfig) Partitioner { return window.New(cfg) }
+// (Section V future work of the paper). The concrete type additionally
+// exposes PartitionStreamStats and PartitionChannel for stream use; in
+// AllPartitioners it is registered under the key "tlpsw".
+func NewSlidingTLP(cfg SlidingWindowConfig) *SlidingTLP { return window.New(cfg) }
 
 // NewFlatKL returns the non-multilevel offline baseline (greedy growing plus
 // FM refinement on the full graph) — the classic Kernighan-Lin-family
@@ -75,6 +77,11 @@ func NewFlatKL(cfg METISConfig) Partitioner { return metis.NewFlatKL(cfg) }
 
 // AllPartitioners returns one instance of every partitioner in this library
 // keyed by lower-case name; handy for CLIs and comparisons.
+//
+// Two entries carry naming notes: "tlpsw" is the sliding-window TLP variant
+// (NewSlidingTLP), and the flat Kernighan-Lin-family baseline is registered
+// under both "kl" (historical) and "flatkl" (matching its constructor
+// NewFlatKL) — the two keys hold equivalent, identically-seeded instances.
 func AllPartitioners(seed uint64) map[string]Partitioner {
 	return map[string]Partitioner{
 		"tlp":    NewTLP(TLPOptions{Seed: seed}),
@@ -87,5 +94,6 @@ func AllPartitioners(seed uint64) map[string]Partitioner {
 		"hdrf":   NewHDRF(seed, OrderShuffled, 0),
 		"tlpsw":  NewSlidingTLP(SlidingWindowConfig{Seed: seed}),
 		"kl":     NewFlatKL(METISConfig{Seed: seed}),
+		"flatkl": NewFlatKL(METISConfig{Seed: seed}),
 	}
 }
