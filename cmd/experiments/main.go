@@ -10,7 +10,7 @@
 //
 // Experiments: table3, fig8, table4, fig9 (p=10), fig10 (p=15),
 // fig11 (p=20), table6, timing, ablation, window (TLP-SW window-size
-// sweep), all.
+// sweep), engine (share-nothing GAS runtime communication comparison), all.
 //
 // Grid cells (and dataset generations) run concurrently on a bounded worker
 // pool; output is identical for any worker count. The pool size comes from
@@ -39,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|all")
+		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|engine|all")
 		seed    = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
 		csv     = flag.String("csv", "", "directory for CSV output (optional)")
 		quick   = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
@@ -89,7 +89,7 @@ func run() error {
 	case "table3":
 		return nil
 	case "fig8", "table4", "all":
-	case "fig9", "fig10", "fig11", "table6", "timing", "ablation", "window":
+	case "fig9", "fig10", "fig11", "table6", "timing", "ablation", "window", "engine":
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -154,6 +154,15 @@ func run() error {
 			tp = 4
 		}
 		if err := harness.RunWindowAblation(cfg, graphs, tp); err != nil {
+			return err
+		}
+	}
+	if *exp == "engine" || *exp == "all" {
+		tp := 10
+		if *quick {
+			tp = 4
+		}
+		if err := harness.RunEngineComparison(cfg, graphs, tp); err != nil {
 			return err
 		}
 	}

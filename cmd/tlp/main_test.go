@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	graphpart "github.com/graphpart/graphpart"
 )
 
 func TestLoadGraphModes(t *testing.T) {
@@ -93,5 +95,35 @@ func TestRunStream(t *testing.T) {
 	}
 	if err := runStream(io.Discard, path, "G1", "hdrf", 2, 7, 0, false); err == nil {
 		t.Fatal("both inputs accepted")
+	}
+}
+
+func TestRunEngine(t *testing.T) {
+	g, err := loadGraph("", "G1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := graphpart.NewTLP(graphpart.TLPOptions{Seed: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for prog, want := range map[string]string{
+		"pagerank": "top ranks:",
+		"cc":       "connected components:",
+	} {
+		var out bytes.Buffer
+		if err := runEngine(&out, g, a, prog, 10); err != nil {
+			t.Fatalf("%s: %v", prog, err)
+		}
+		text := out.String()
+		for _, needle := range []string{"engine:", "supersteps:", "messages:", "wire bytes:", want} {
+			if !strings.Contains(text, needle) {
+				t.Fatalf("%s output missing %q:\n%s", prog, needle, text)
+			}
+		}
+	}
+	var out bytes.Buffer
+	if err := runEngine(&out, g, a, "bogus", 10); err == nil {
+		t.Fatal("unknown program accepted")
 	}
 }

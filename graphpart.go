@@ -170,6 +170,28 @@ func NewSSSP(source Vertex) Program { return &engine.SSSP{Source: source} }
 // NewComponents returns a connected-components labelling program.
 func NewComponents() Program { return &engine.Components{} }
 
+// Transport moves typed messages between the engine's share-nothing
+// machines; it is the seam where a network transport lands.
+type Transport = engine.Transport
+
+// MemTransport is the in-process Transport implementation.
+type MemTransport = engine.MemTransport
+
+// NewMemTransport returns an in-process transport for p machines.
+func NewMemTransport(p int) *MemTransport { return engine.NewMemTransport(p) }
+
+// TrafficMatrix is the per-link p x p traffic of an engine run.
+type TrafficMatrix = engine.TrafficMatrix
+
+// TrafficTotals is cumulative transport traffic by message kind.
+type TrafficTotals = engine.Totals
+
+// RunSequential executes a vertex program with a plain sequential loop —
+// the single-machine oracle the share-nothing runtime is bit-identical to.
+func RunSequential(g *Graph, prog Program, maxSupersteps int) ([]float64, int, error) {
+	return engine.RunSequential(g, prog, maxSupersteps)
+}
+
 // RefineOptions tunes the replica-consolidation refinement pass.
 type RefineOptions = refine.Options
 

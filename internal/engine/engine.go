@@ -1,20 +1,27 @@
-// Package engine is a PowerGraph-style gather-apply-scatter (GAS) execution
-// engine running on an edge-partitioned graph — the distributed-computation
+// Package engine is a PowerGraph-style gather-apply-scatter (GAS) runtime
+// running on an edge-partitioned graph — the distributed-computation
 // substrate that motivates the paper's problem: every spanned vertex has one
 // master replica and mirrors in every other partition whose edge set touches
 // it, and each superstep synchronises gather results from mirrors to the
-// master and the applied value back from the master to the mirrors. The
-// engine counts those synchronisation messages, making the cost of a high
-// replication factor directly observable: messages per superstep =
-// 2 * (total replicas - active vertices).
+// master and the applied value back from the master to the mirrors.
 //
-// Partitions execute as goroutines ("machines") with channel-based message
-// exchange, so the simulation exercises real concurrency, not just a loop.
+// The runtime is share-nothing: each partition is a machine (one goroutine)
+// owning purely local state — local replica values, local adjacency, local
+// activation — and the only way state crosses a partition boundary is a
+// typed Message through a Transport. The transport accounts messages and
+// wire bytes per link, making the cost of a high replication factor
+// directly observable: with every vertex active, a superstep moves exactly
+// 2 * (total replicas - masters) messages.
+//
+// Supersteps run in five globally barriered phases (gather, apply, scatter,
+// activate, finalize), and masters fold gather contributions in canonical
+// slot order, so a run is deterministic and bit-identical to RunSequential
+// for any partitioning and any scheduling of the machine goroutines.
 package engine
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
@@ -40,107 +47,181 @@ type Program interface {
 	Converged(old, new float64) bool
 }
 
-// Stats aggregates what the engine did during Run.
+// Stats aggregates what the runtime did during a run.
 type Stats struct {
 	// Supersteps executed (may be fewer than requested on convergence).
 	Supersteps int
-	// GatherMessages counts mirror->master accumulator messages.
+	// GatherMessages counts mirror->master accumulator flushes.
 	GatherMessages int64
 	// ApplyMessages counts master->mirror value broadcasts.
 	ApplyMessages int64
+	// ActivateMessages counts activation notices and fan-outs.
+	ActivateMessages int64
+	// GatherBytes, ApplyBytes and ActivateBytes are the wire bytes of the
+	// corresponding message kinds.
+	GatherBytes   int64
+	ApplyBytes    int64
+	ActivateBytes int64
 	// TotalReplicas is the number of (vertex, partition) placements.
 	TotalReplicas int
 	// Masters is the number of vertices with at least one edge.
 	Masters int
+	// PerStep is the traffic of each executed superstep.
+	PerStep []Totals
+	// Links is the cumulative per-link p x p traffic matrix.
+	Links *TrafficMatrix
 }
 
-// Messages returns total synchronisation traffic.
-func (s Stats) Messages() int64 { return s.GatherMessages + s.ApplyMessages }
+// Messages returns total synchronisation traffic across message kinds.
+func (s Stats) Messages() int64 {
+	return s.GatherMessages + s.ApplyMessages + s.ActivateMessages
+}
 
-// Engine executes vertex programs over one partitioned graph.
+// Bytes returns total wire bytes across message kinds.
+func (s Stats) Bytes() int64 { return s.GatherBytes + s.ApplyBytes + s.ActivateBytes }
+
+// Engine executes vertex programs over one partitioned graph. Build it once
+// per assignment; Run may be called repeatedly but not concurrently —
+// machines reuse their per-run buffers across runs.
 type Engine struct {
 	g *graph.Graph
 	p int
-	// vertsOf[k] lists the vertices with >= 1 edge in partition k.
-	vertsOf [][]graph.Vertex
-	// masterOf[v] is the partition owning v's master replica (the
-	// partition with the most incident edges, ties to the lowest id),
-	// or -1 for isolated vertices.
+	// machines[k] is partition k's share-nothing runtime.
+	machines []*machine
+	// masterOf[v] is the machine owning v's master replica (the partition
+	// with the most incident edges, ties to the lowest id), or -1 for
+	// isolated vertices.
 	masterOf []int32
-	// adjOf[k][i] lists, for vertex vertsOf[k][i], the edges of partition
-	// k incident to it (as the neighbour vertex).
-	adjOf [][][]graph.Vertex
-	// replicaCount[v] is the number of partitions holding v.
-	replicaCount []int16
-	stats        Stats
+	stats    Stats
 }
 
-// New builds an engine from a complete edge partitioning of g.
+// New builds an engine from a complete edge partitioning of g. Capacity
+// validation is skipped — the runtime executes whatever a partitioner
+// produced, balanced or not — but the assignment must cover every edge.
 func New(g *graph.Graph, a *partition.Assignment) (*Engine, error) {
-	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1e9}); err != nil {
+	if err := partition.Validate(g, a, partition.ValidateOptions{SkipCapacity: true}); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
 	p := a.P()
+	n := g.NumVertices()
 	e := &Engine{
 		g:        g,
 		p:        p,
-		vertsOf:  make([][]graph.Vertex, p),
-		masterOf: make([]int32, g.NumVertices()),
-		adjOf:    make([][][]graph.Vertex, p),
+		machines: make([]*machine, p),
+		masterOf: make([]int32, n),
 	}
-	n := g.NumVertices()
-	// Count per-partition incidence to pick masters.
-	inc := make([][]int32, p)
-	for k := range inc {
-		inc[k] = make([]int32, n)
+	for k := range e.machines {
+		e.machines[k] = &machine{id: k}
+	}
+	// Single pass over the edge list builds every machine's local vertex
+	// table and local adjacency (global ids plus local indices).
+	lidx := make([]map[graph.Vertex]int32, p)
+	for k := range lidx {
+		lidx[k] = make(map[graph.Vertex]int32)
+	}
+	intern := func(k int, v graph.Vertex) int32 {
+		if i, ok := lidx[k][v]; ok {
+			return i
+		}
+		m := e.machines[k]
+		i := int32(len(m.verts))
+		lidx[k][v] = i
+		m.verts = append(m.verts, v)
+		m.adjNbr = append(m.adjNbr, nil)
+		m.adjLocal = append(m.adjLocal, nil)
+		return i
 	}
 	for id, ed := range g.Edges() {
 		k, _ := a.PartitionOf(graph.EdgeID(id))
-		inc[k][ed.U]++
-		inc[k][ed.V]++
+		iu := intern(k, ed.U)
+		iv := intern(k, ed.V)
+		m := e.machines[k]
+		m.adjNbr[iu] = append(m.adjNbr[iu], ed.V)
+		m.adjLocal[iu] = append(m.adjLocal[iu], iv)
+		m.adjNbr[iv] = append(m.adjNbr[iv], ed.U)
+		m.adjLocal[iv] = append(m.adjLocal[iv], iu)
 	}
-	for v := 0; v < n; v++ {
-		best, bestInc := int32(-1), int32(0)
-		for k := 0; k < p; k++ {
-			if inc[k][v] > bestInc {
-				best, bestInc = int32(k), inc[k][v]
+	// Master election from local incidence: the partition with the most
+	// incident edges wins, ties to the lowest machine id.
+	for v := range e.masterOf {
+		e.masterOf[v] = -1
+	}
+	bestInc := make([]int32, n)
+	for k, m := range e.machines {
+		for i, v := range m.verts {
+			if c := int32(len(m.adjNbr[i])); c > bestInc[v] {
+				bestInc[v], e.masterOf[v] = c, int32(k)
 			}
 		}
-		e.masterOf[v] = best
 	}
-	// Per-partition local structures.
-	idxOf := make([]int32, n)
-	for k := 0; k < p; k++ {
-		for v := 0; v < n; v++ {
-			idxOf[v] = -1
-		}
-		var verts []graph.Vertex
-		var adj [][]graph.Vertex
-		for id, ed := range g.Edges() {
-			kk, _ := a.PartitionOf(graph.EdgeID(id))
-			if kk != k {
-				continue
+	// Per-machine static tables: sorted local adjacency, canonical slots,
+	// degrees and master routing.
+	for k, m := range e.machines {
+		nl := len(m.verts)
+		m.adjSlot = make([][]int32, nl)
+		m.degree = make([]int32, nl)
+		m.isMaster = make([]bool, nl)
+		m.masterMachine = make([]int32, nl)
+		m.masterLidx = make([]int32, nl)
+		m.mirrorMachine = make([][]int32, nl)
+		m.mirrorLidx = make([][]int32, nl)
+		for i, v := range m.verts {
+			sortAdjPair(m.adjNbr[i], m.adjLocal[i])
+			nbrs := g.Neighbors(v)
+			slots := make([]int32, len(m.adjNbr[i]))
+			for j, u := range m.adjNbr[i] {
+				slots[j] = int32(sort.Search(len(nbrs), func(x int) bool { return nbrs[x] >= u }))
 			}
-			for _, end := range []graph.Vertex{ed.U, ed.V} {
-				if idxOf[end] == -1 {
-					idxOf[end] = int32(len(verts))
-					verts = append(verts, end)
-					adj = append(adj, nil)
+			m.adjSlot[i] = slots
+			m.degree[i] = int32(len(nbrs))
+			mk := e.masterOf[v]
+			m.isMaster[i] = mk == int32(k)
+			m.masterMachine[i] = mk
+		}
+	}
+	// Cross-machine routing: each replica learns its master's local index,
+	// and each master collects its mirrors sorted by machine id.
+	for k, m := range e.machines {
+		for i, v := range m.verts {
+			mk := int(m.masterMachine[i])
+			mi := lidx[mk][v]
+			m.masterLidx[i] = mi
+			if mk != k {
+				mm := e.machines[mk]
+				mm.mirrorMachine[mi] = append(mm.mirrorMachine[mi], int32(k))
+				mm.mirrorLidx[mi] = append(mm.mirrorLidx[mi], int32(i))
+			}
+		}
+	}
+	// Per-run buffers: replica state, master accumulators and the reusable
+	// messages (slots are static, so flushes are built once).
+	for _, m := range e.machines {
+		nl := len(m.verts)
+		m.value = make([]float64, nl)
+		m.active = make([]bool, nl)
+		m.nextActive = make([]bool, nl)
+		m.changed = make([]bool, nl)
+		m.bcastActive = make([]bool, nl)
+		m.acc = make([][]float64, nl)
+		m.flush = make([]*GatherFlush, nl)
+		m.bcast = make([][]*ApplyBroadcast, nl)
+		for i := range m.verts {
+			if m.isMaster[i] {
+				m.acc[i] = make([]float64, m.degree[i])
+				bs := make([]*ApplyBroadcast, len(m.mirrorMachine[i]))
+				for mi := range bs {
+					bs[mi] = &ApplyBroadcast{MirrorLocal: m.mirrorLidx[i][mi]}
+				}
+				m.bcast[i] = bs
+			} else {
+				m.flush[i] = &GatherFlush{
+					MasterLocal: m.masterLidx[i],
+					Slots:       m.adjSlot[i],
+					Contribs:    make([]float64, len(m.adjSlot[i])),
 				}
 			}
-			adj[idxOf[ed.U]] = append(adj[idxOf[ed.U]], ed.V)
-			adj[idxOf[ed.V]] = append(adj[idxOf[ed.V]], ed.U)
-			e.stats.TotalReplicas += 0 // counted below
 		}
-		e.vertsOf[k] = verts
-		e.adjOf[k] = adj
-	}
-	e.replicaCount = make([]int16, n)
-	for k := 0; k < p; k++ {
-		e.stats.TotalReplicas += len(e.vertsOf[k])
-		for _, u := range e.vertsOf[k] {
-			e.replicaCount[u]++
-		}
+		e.stats.TotalReplicas += nl
 	}
 	for v := 0; v < n; v++ {
 		if e.masterOf[v] >= 0 {
@@ -148,6 +229,37 @@ func New(g *graph.Graph, a *partition.Assignment) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// sortAdjPair sorts a local adjacency (global neighbour ids with parallel
+// local indices) by global id. Neighbour ids within a vertex are unique, so
+// the order is total.
+func sortAdjPair(nbrs []graph.Vertex, locals []int32) {
+	if len(nbrs) < 24 {
+		for i := 1; i < len(nbrs); i++ {
+			n, l := nbrs[i], locals[i]
+			j := i - 1
+			for j >= 0 && nbrs[j] > n {
+				nbrs[j+1], locals[j+1] = nbrs[j], locals[j]
+				j--
+			}
+			nbrs[j+1], locals[j+1] = n, l
+		}
+		return
+	}
+	sort.Sort(&adjPairSorter{nbrs, locals})
+}
+
+type adjPairSorter struct {
+	nbrs   []graph.Vertex
+	locals []int32
+}
+
+func (s *adjPairSorter) Len() int           { return len(s.nbrs) }
+func (s *adjPairSorter) Less(i, j int) bool { return s.nbrs[i] < s.nbrs[j] }
+func (s *adjPairSorter) Swap(i, j int) {
+	s.nbrs[i], s.nbrs[j] = s.nbrs[j], s.nbrs[i]
+	s.locals[i], s.locals[j] = s.locals[j], s.locals[i]
 }
 
 // ReplicationFactor returns total replicas over active vertices — the
@@ -160,36 +272,117 @@ func (e *Engine) ReplicationFactor() float64 {
 	return float64(e.stats.TotalReplicas) / float64(e.stats.Masters)
 }
 
-// Run executes prog for at most maxSupersteps, returning the final vertex
-// values and execution stats. Vertices all start active; a vertex
-// deactivates when Converged, and reactivates if any neighbour changed in
-// the previous superstep. Run stops early when every vertex is inactive.
+// Run executes prog for at most maxSupersteps over an in-process transport,
+// returning the final vertex values and execution stats. Vertices all start
+// active; a vertex deactivates when Converged, and reactivates if any
+// neighbour changed in the previous superstep. Run stops early when every
+// vertex is inactive. Run must not be called concurrently on one Engine.
 func (e *Engine) Run(prog Program, maxSupersteps int) ([]float64, Stats, error) {
+	return e.RunWith(prog, maxSupersteps, nil)
+}
+
+// RunWith is Run over a caller-supplied Transport (nil means a fresh
+// MemTransport), whose cumulative traffic lands in the returned Stats.
+func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float64, Stats, error) {
 	if prog == nil {
 		return nil, Stats{}, fmt.Errorf("engine: nil program")
 	}
 	if maxSupersteps < 1 {
 		return nil, Stats{}, fmt.Errorf("engine: need at least one superstep")
 	}
-	n := e.g.NumVertices()
-	values := make([]float64, n)
-	degree := make([]int, n)
-	for v := 0; v < n; v++ {
-		degree[v] = e.g.Degree(graph.Vertex(v))
-		values[v] = prog.Init(graph.Vertex(v), degree[v])
+	if tr == nil {
+		tr = NewMemTransport(e.p)
 	}
 	stats := e.stats
+	activeMasters := 0
+	for _, m := range e.machines {
+		m.reset(prog, tr)
+		activeMasters += m.activeMasters
+	}
+	// One long-lived goroutine per machine; the coordinator drives them
+	// phase by phase over control channels. The command/done handshake is
+	// the barrier — and the happens-before edge that makes the transport's
+	// lock-free buffers safe.
+	cmds := make([]chan int, e.p)
+	done := make(chan struct{}, e.p)
+	for k, m := range e.machines {
+		cmds[k] = make(chan int)
+		go m.loop(cmds[k], done)
+	}
+	defer func() {
+		for _, c := range cmds {
+			close(c)
+		}
+	}()
+	var prev Totals
+	for step := 0; step < maxSupersteps && activeMasters > 0; step++ {
+		stats.Supersteps++
+		for ph := 0; ph < numPhases; ph++ {
+			for _, c := range cmds {
+				c <- ph
+			}
+			for range e.machines {
+				<-done
+			}
+			tr.Flip()
+		}
+		activeMasters = 0
+		for _, m := range e.machines {
+			activeMasters += m.activeMasters
+		}
+		tot := tr.Totals()
+		stats.PerStep = append(stats.PerStep, tot.Sub(prev))
+		prev = tot
+	}
+	stats.GatherMessages = prev.GatherMessages
+	stats.ApplyMessages = prev.ApplyMessages
+	stats.ActivateMessages = prev.ActivateMessages
+	stats.GatherBytes = prev.GatherBytes
+	stats.ApplyBytes = prev.ApplyBytes
+	stats.ActivateBytes = prev.ActivateBytes
+	stats.Links = tr.Traffic()
+	// Assemble the result from master replicas; isolated vertices keep
+	// their initial value.
+	n := e.g.NumVertices()
+	values := make([]float64, n)
+	for v := 0; v < n; v++ {
+		values[v] = prog.Init(graph.Vertex(v), e.g.Degree(graph.Vertex(v)))
+	}
+	for _, m := range e.machines {
+		for i, v := range m.verts {
+			if m.isMaster[i] {
+				values[v] = m.value[i]
+			}
+		}
+	}
+	return values, stats, nil
+}
+
+// RunSequential executes prog on g as one plain sequential loop — no
+// partitions, no goroutines, no messages. It is the oracle the
+// share-nothing runtime is tested against: for any complete partitioning
+// and any machine scheduling, Run returns bit-identical values and the same
+// superstep count, because masters fold gather contributions in the same
+// canonical sorted-neighbour order this loop uses.
+func RunSequential(g *graph.Graph, prog Program, maxSupersteps int) ([]float64, int, error) {
+	if prog == nil {
+		return nil, 0, fmt.Errorf("engine: nil program")
+	}
+	if maxSupersteps < 1 {
+		return nil, 0, fmt.Errorf("engine: need at least one superstep")
+	}
+	n := g.NumVertices()
+	values := make([]float64, n)
+	degree := make([]int, n)
 	active := make([]bool, n)
-	for v := range active {
+	for v := 0; v < n; v++ {
+		degree[v] = g.Degree(graph.Vertex(v))
+		values[v] = prog.Init(graph.Vertex(v), degree[v])
 		active[v] = degree[v] > 0
 	}
-	type partial struct {
-		v   graph.Vertex
-		sum float64
-		set bool
-	}
-	// Reused per superstep: per-partition gather outputs.
-	partials := make([][]partial, e.p)
+	gathered := make([]float64, n)
+	changed := make([]bool, n)
+	steps := 0
 	for step := 0; step < maxSupersteps; step++ {
 		anyActive := false
 		for v := 0; v < n; v++ {
@@ -201,97 +394,41 @@ func (e *Engine) Run(prog Program, maxSupersteps int) ([]float64, Stats, error) 
 		if !anyActive {
 			break
 		}
-		stats.Supersteps++
-		// GATHER phase: every partition computes local partial sums for
-		// its replicas, concurrently (one goroutine per "machine").
-		var wg sync.WaitGroup
-		for k := 0; k < e.p; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				verts := e.vertsOf[k]
-				out := partials[k][:0]
-				if cap(partials[k]) < len(verts) {
-					out = make([]partial, 0, len(verts))
-				}
-				for i, v := range verts {
-					if !active[v] {
-						continue
-					}
-					var sum float64
-					set := false
-					for _, u := range e.adjOf[k][i] {
-						c := prog.Gather(v, u, values[u], degree[u])
-						if !set {
-							sum, set = c, true
-						} else {
-							sum = prog.Sum(sum, c)
-						}
-					}
-					if set {
-						out = append(out, partial{v: v, sum: sum, set: true})
-					}
-				}
-				partials[k] = out
-			}(k)
-		}
-		wg.Wait()
-		// Mirror -> master accumulation. Each partial computed on a
-		// non-master replica is one gather message.
-		gathered := make(map[graph.Vertex]float64, n/4)
-		for k := 0; k < e.p; k++ {
-			for _, pt := range partials[k] {
-				if int32(k) != e.masterOf[pt.v] {
-					stats.GatherMessages++
-				}
-				if prev, ok := gathered[pt.v]; ok {
-					gathered[pt.v] = prog.Sum(prev, pt.sum)
-				} else {
-					gathered[pt.v] = pt.sum
-				}
-			}
-		}
-		// APPLY phase at masters; then master -> mirror broadcast, one
-		// message per mirror of a changed vertex.
-		changed := make([]bool, n)
+		steps++
+		// Gather over the previous superstep's values for every active
+		// vertex, folding the sorted neighbour list left to right.
 		for v := 0; v < n; v++ {
 			if !active[v] {
 				continue
 			}
-			gv, ok := gathered[graph.Vertex(v)]
-			if !ok {
-				gv = 0
+			nbrs := g.Neighbors(graph.Vertex(v))
+			sum := prog.Gather(graph.Vertex(v), nbrs[0], values[nbrs[0]], degree[nbrs[0]])
+			for _, u := range nbrs[1:] {
+				sum = prog.Sum(sum, prog.Gather(graph.Vertex(v), u, values[u], degree[u]))
 			}
-			nv := prog.Apply(graph.Vertex(v), values[v], gv, degree[v])
-			if prog.Converged(values[v], nv) {
-				active[v] = false
-			} else {
-				changed[v] = true
-			}
-			if nv != values[v] {
-				// Broadcast to mirrors: replicas - 1 messages.
-				stats.ApplyMessages += int64(e.replicasOf(graph.Vertex(v)) - 1)
-			}
-			values[v] = nv
+			gathered[v] = sum
 		}
-		// SCATTER/activation: neighbours of changed vertices reactivate.
+		// Apply.
+		for v := 0; v < n; v++ {
+			changed[v] = false
+			if !active[v] {
+				continue
+			}
+			nv := prog.Apply(graph.Vertex(v), values[v], gathered[v], degree[v])
+			conv := prog.Converged(values[v], nv)
+			values[v] = nv
+			active[v] = !conv
+			changed[v] = !conv
+		}
+		// Scatter: neighbours of changed vertices reactivate.
 		for v := 0; v < n; v++ {
 			if !changed[v] {
 				continue
 			}
-			for _, u := range e.g.Neighbors(graph.Vertex(v)) {
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
 				active[u] = true
 			}
 		}
 	}
-	return values, stats, nil
-}
-
-// replicasOf counts the partitions holding vertex v (1 minimum so isolated
-// vertices never produce negative message counts).
-func (e *Engine) replicasOf(v graph.Vertex) int {
-	if c := int(e.replicaCount[v]); c > 0 {
-		return c
-	}
-	return 1
+	return values, steps, nil
 }

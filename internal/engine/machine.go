@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// The five phases of one superstep. Every machine executes the same phase
+// between two global barriers, and messages sent in one phase are drained
+// in a later one, so no machine ever observes another machine mid-phase —
+// the determinism guarantee of the runtime.
+const (
+	// phaseGather: every machine computes gather contributions for its
+	// active local replicas; mirrors flush theirs to the master machine.
+	phaseGather = iota
+	// phaseApply: masters drain flushes, fold the canonical accumulator,
+	// apply, and broadcast the new value to mirrors.
+	phaseApply
+	// phaseScatter: machines drain broadcasts, update mirror values, run
+	// the local scatter, and send activation notices to masters of
+	// vertices the master may believe converged.
+	phaseScatter
+	// phaseActivate: masters drain notices and fan activation out to
+	// mirrors of vertices whose broadcast said "inactive".
+	phaseActivate
+	// phaseFinalize: machines drain fan-outs, promote nextActive to
+	// active, and count their active masters for the termination check.
+	phaseFinalize
+	numPhases
+)
+
+// machine is one share-nothing partition runtime. It owns purely local
+// state — local replica values, local adjacency, local activation — and the
+// only way any of it crosses the partition boundary is a Message through
+// the Transport. The coordinator never reads mutable machine state while
+// the machine's goroutine runs a phase; the phase command/done channels
+// provide the happens-before edges.
+type machine struct {
+	id   int
+	tr   Transport
+	prog Program
+
+	// Immutable local topology, built once in New.
+
+	// verts maps local index -> global vertex id.
+	verts []graph.Vertex
+	// adjNbr[i] lists the global neighbour ids of verts[i] over the edges
+	// of this partition, sorted ascending.
+	adjNbr [][]graph.Vertex
+	// adjLocal[i][j] is the local index of adjNbr[i][j].
+	adjLocal [][]int32
+	// adjSlot[i][j] is the canonical slot of arc (verts[i], adjNbr[i][j]):
+	// its index in the vertex's globally sorted neighbour list.
+	adjSlot [][]int32
+	// degree[i] is the global degree of verts[i].
+	degree []int32
+	// isMaster[i] reports whether this machine masters verts[i].
+	isMaster []bool
+	// masterMachine[i] / masterLidx[i] locate the master replica.
+	masterMachine []int32
+	masterLidx    []int32
+	// mirrorMachine[i] / mirrorLidx[i] locate the mirrors of a mastered
+	// vertex, sorted by machine id (nil for non-masters).
+	mirrorMachine [][]int32
+	mirrorLidx    [][]int32
+
+	// Mutable per-run state, owned exclusively by this machine's goroutine
+	// while a run is in flight.
+
+	// value[i] is the local replica value of verts[i].
+	value []float64
+	// active[i] is this superstep's activation; nextActive accumulates the
+	// next superstep's during apply/scatter/activate.
+	active     []bool
+	nextActive []bool
+	// changed[i]: verts[i] did not converge this superstep (drives scatter).
+	changed []bool
+	// bcastActive[i]: for masters, the activation flag already broadcast
+	// this superstep; a vertex reactivated beyond it needs a fan-out.
+	bcastActive []bool
+	// acc[i] is the master-side dense accumulator for verts[i], indexed by
+	// canonical slot; reused every superstep (nil for non-masters).
+	acc [][]float64
+	// flush[i] is the reusable mirror->master flush for verts[i] (nil for
+	// masters). Slots alias adjSlot; Contribs are refilled each superstep.
+	flush []*GatherFlush
+	// bcast[i] holds one reusable broadcast per mirror of a mastered vertex.
+	bcast [][]*ApplyBroadcast
+	// activeMasters is the post-finalize count of active mastered vertices;
+	// the coordinator reads it between supersteps to decide termination.
+	activeMasters int
+}
+
+// loop runs phases as they are commanded until cmds closes. One goroutine
+// per machine executes it for the duration of a run.
+func (m *machine) loop(cmds <-chan int, done chan<- struct{}) {
+	for ph := range cmds {
+		m.step(ph)
+		done <- struct{}{}
+	}
+}
+
+func (m *machine) step(ph int) {
+	switch ph {
+	case phaseGather:
+		m.gather()
+	case phaseApply:
+		m.apply()
+	case phaseScatter:
+		m.scatter()
+	case phaseActivate:
+		m.activate()
+	case phaseFinalize:
+		m.finalize()
+	}
+}
+
+// reset prepares the machine for a fresh run of prog over tr.
+func (m *machine) reset(prog Program, tr Transport) {
+	m.prog, m.tr = prog, tr
+	m.activeMasters = 0
+	for i, v := range m.verts {
+		m.value[i] = prog.Init(v, int(m.degree[i]))
+		// Every replica has at least one local edge, so every replicated
+		// vertex starts active — the same initial frontier as the
+		// sequential reference (degree > 0).
+		m.active[i] = true
+		m.nextActive[i] = false
+		m.changed[i] = false
+		m.bcastActive[i] = false
+		if m.isMaster[i] {
+			m.activeMasters++
+		}
+	}
+}
+
+// gather computes this machine's per-arc contributions for every active
+// local replica. Masters write straight into their dense accumulator;
+// mirrors fill their reusable flush and send it to the master machine.
+func (m *machine) gather() {
+	for i := range m.verts {
+		if !m.active[i] {
+			continue
+		}
+		v := m.verts[i]
+		nbrs, locals, slots := m.adjNbr[i], m.adjLocal[i], m.adjSlot[i]
+		if m.isMaster[i] {
+			acc := m.acc[i]
+			for j, u := range nbrs {
+				l := locals[j]
+				acc[slots[j]] = m.prog.Gather(v, u, m.value[l], int(m.degree[l]))
+			}
+		} else {
+			f := m.flush[i]
+			for j, u := range nbrs {
+				l := locals[j]
+				f.Contribs[j] = m.prog.Gather(v, u, m.value[l], int(m.degree[l]))
+			}
+			m.tr.Send(m.id, int(m.masterMachine[i]), f)
+		}
+	}
+}
+
+// apply drains mirror flushes into the accumulators, folds each active
+// mastered vertex's accumulator in canonical slot order (bit-identical to a
+// sequential fold over the sorted neighbour list), applies, and broadcasts
+// the outcome to every mirror.
+func (m *machine) apply() {
+	for _, msg := range m.tr.Drain(m.id) {
+		f := msg.(*GatherFlush)
+		acc := m.acc[f.MasterLocal]
+		for j, s := range f.Slots {
+			acc[s] = f.Contribs[j]
+		}
+	}
+	for i := range m.verts {
+		if !m.active[i] || !m.isMaster[i] {
+			continue
+		}
+		v := m.verts[i]
+		acc := m.acc[i]
+		sum := acc[0]
+		for _, c := range acc[1:] {
+			sum = m.prog.Sum(sum, c)
+		}
+		old := m.value[i]
+		nv := m.prog.Apply(v, old, sum, int(m.degree[i]))
+		conv := m.prog.Converged(old, nv)
+		m.value[i] = nv
+		m.changed[i] = !conv
+		m.bcastActive[i] = !conv
+		m.nextActive[i] = !conv
+		for mi, mm := range m.mirrorMachine[i] {
+			b := m.bcast[i][mi]
+			b.Value, b.Changed, b.Active = nv, !conv, !conv
+			m.tr.Send(m.id, int(mm), b)
+		}
+	}
+}
+
+// scatter drains broadcasts (updating mirror values, changed flags and
+// master-decided activation), then wakes the local neighbours of every
+// changed replica. A wake of a vertex whose master may believe it inactive
+// is escalated with an Activate notice to the master machine; the
+// nextActive flag doubles as the per-machine dedup.
+func (m *machine) scatter() {
+	for _, msg := range m.tr.Drain(m.id) {
+		b := msg.(*ApplyBroadcast)
+		i := b.MirrorLocal
+		m.value[i] = b.Value
+		m.changed[i] = b.Changed
+		if b.Active {
+			m.nextActive[i] = true
+		}
+	}
+	for i := range m.verts {
+		if !m.changed[i] {
+			continue
+		}
+		for _, w := range m.adjLocal[i] {
+			if m.nextActive[w] {
+				continue
+			}
+			m.nextActive[w] = true
+			if mk := m.masterMachine[w]; int(mk) != m.id {
+				m.tr.Send(m.id, int(mk), &Activate{Local: m.masterLidx[w]})
+			}
+		}
+	}
+}
+
+// activate drains notices at masters and fans activation out to the
+// mirrors of every vertex that ended up active beyond what its broadcast
+// said — so all replicas agree on the activation set before finalize.
+func (m *machine) activate() {
+	for _, msg := range m.tr.Drain(m.id) {
+		m.nextActive[msg.(*Activate).Local] = true
+	}
+	for i := range m.verts {
+		if !m.isMaster[i] || !m.nextActive[i] || m.bcastActive[i] {
+			continue
+		}
+		for mi, mm := range m.mirrorMachine[i] {
+			m.tr.Send(m.id, int(mm), &Activate{Local: m.mirrorLidx[i][mi]})
+		}
+	}
+}
+
+// finalize drains activation fan-outs, promotes nextActive to active,
+// clears the per-superstep flags and counts the active masters the
+// coordinator uses for the termination check.
+func (m *machine) finalize() {
+	for _, msg := range m.tr.Drain(m.id) {
+		m.nextActive[msg.(*Activate).Local] = true
+	}
+	m.activeMasters = 0
+	for i := range m.verts {
+		m.active[i] = m.nextActive[i]
+		m.nextActive[i] = false
+		m.changed[i] = false
+		m.bcastActive[i] = false
+		if m.active[i] && m.isMaster[i] {
+			m.activeMasters++
+		}
+	}
+}

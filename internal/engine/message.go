@@ -1,0 +1,106 @@
+package engine
+
+// Kind discriminates the typed messages machines exchange. Every unit of
+// state that crosses a partition boundary is one of these; there is no
+// other channel between machines.
+type Kind uint8
+
+const (
+	// KindGatherFlush is a mirror -> master accumulator flush.
+	KindGatherFlush Kind = iota
+	// KindApplyBroadcast is a master -> mirror value broadcast.
+	KindApplyBroadcast
+	// KindActivate is an activation notice (edge holder -> master) or an
+	// activation fan-out (master -> mirror).
+	KindActivate
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGatherFlush:
+		return "gather"
+	case KindApplyBroadcast:
+		return "apply"
+	case KindActivate:
+		return "activate"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is one typed unit of inter-machine traffic. Senders own their
+// messages: the runtime's reusable messages stay valid only until the
+// sender's next superstep, so receivers must consume them in the phase they
+// are drained.
+type Message interface {
+	// MessageKind identifies the message type for traffic accounting.
+	MessageKind() Kind
+	// WireSize is the bytes the message would occupy on a network link
+	// (payload only; see DESIGN.md §10 for the accounting model).
+	WireSize() int
+}
+
+// GatherFlush carries one mirror replica's gather contributions for one
+// vertex to the vertex's master machine. Contribs[i] is the contribution of
+// a local arc; Slots[i] is that arc's canonical slot — the arc's index in
+// the vertex's globally sorted neighbour list. Slot addressing lets the
+// master fold every contribution in a partitioning-independent order, which
+// is what makes the runtime bit-identical to a sequential run even for
+// non-associative floating-point reductions.
+type GatherFlush struct {
+	// MasterLocal is the vertex's local index on the master machine.
+	MasterLocal int32
+	// Slots holds the canonical slot of each contribution; parallel to
+	// Contribs and sorted ascending.
+	Slots []int32
+	// Contribs holds the per-arc gather values.
+	Contribs []float64
+}
+
+// MessageKind implements Message.
+func (m *GatherFlush) MessageKind() Kind { return KindGatherFlush }
+
+// WireSize implements Message: a 4-byte vertex reference, a 4-byte entry
+// count, and a 12-byte (slot, contribution) pair per entry.
+func (m *GatherFlush) WireSize() int { return 8 + 12*len(m.Contribs) }
+
+// ApplyBroadcast carries a master's post-apply state for one vertex to one
+// mirror: the new value, whether the vertex changed (did not converge) this
+// superstep — which drives the receiver's scatter — and whether it stays
+// active next superstep.
+type ApplyBroadcast struct {
+	// MirrorLocal is the vertex's local index on the receiving machine.
+	MirrorLocal int32
+	// Value is the freshly applied vertex value.
+	Value float64
+	// Changed reports the vertex did not converge; the receiver
+	// scatter-activates its local neighbours.
+	Changed bool
+	// Active is the master's post-apply activation decision (before any
+	// scatter reactivation).
+	Active bool
+}
+
+// MessageKind implements Message.
+func (m *ApplyBroadcast) MessageKind() Kind { return KindApplyBroadcast }
+
+// WireSize implements Message: a 4-byte vertex reference, an 8-byte value
+// and one packed flag byte.
+func (m *ApplyBroadcast) WireSize() int { return 13 }
+
+// Activate reactivates one vertex replica: machines send it to a vertex's
+// master when a local scatter wakes a vertex the master may believe
+// converged, and masters fan it out to mirrors so every replica agrees on
+// the activation set before the next superstep.
+type Activate struct {
+	// Local is the vertex's local index on the receiving machine.
+	Local int32
+}
+
+// MessageKind implements Message.
+func (m *Activate) MessageKind() Kind { return KindActivate }
+
+// WireSize implements Message: a 4-byte vertex reference.
+func (m *Activate) WireSize() int { return 4 }

@@ -1,0 +1,194 @@
+package engine
+
+// Transport moves typed messages between machines. It is the only channel
+// through which state crosses a partition boundary, and it owns the traffic
+// accounting: message counts and wire bytes, cumulatively and per link.
+//
+// The runtime drives a transport in BSP phases: machines Send during a
+// phase, the runtime calls Flip at the phase barrier, and receivers Drain
+// the delivered batch in a later phase. Implementations must support
+// concurrent Send calls from distinct senders (a machine only ever sends as
+// itself), must preserve per-sender send order, and must present each
+// drained inbox grouped by ascending sender id — the delivery-order
+// contract the runtime's determinism rests on. This interface is the seam
+// where a network transport, latency/loss injection and backpressure land;
+// MemTransport is the in-process implementation.
+type Transport interface {
+	// Send enqueues m from machine from to machine to. The message becomes
+	// drainable only after the next Flip.
+	Send(from, to int, m Message)
+	// Flip completes a phase: everything sent since the previous Flip is
+	// delivered. The runtime calls it between phase barriers, never
+	// concurrently with Send or Drain.
+	Flip()
+	// Drain removes and returns machine k's delivered inbox, grouped by
+	// ascending sender id with per-sender order preserved. Only machine k
+	// may drain inbox k.
+	Drain(k int) []Message
+	// Totals returns the cumulative per-kind traffic counters.
+	Totals() Totals
+	// Traffic returns a copy of the cumulative per-link traffic matrix.
+	Traffic() *TrafficMatrix
+}
+
+// Totals is cumulative transport traffic broken down by message kind.
+type Totals struct {
+	GatherMessages   int64
+	ApplyMessages    int64
+	ActivateMessages int64
+	GatherBytes      int64
+	ApplyBytes       int64
+	ActivateBytes    int64
+}
+
+// Messages returns the total message count across kinds.
+func (t Totals) Messages() int64 {
+	return t.GatherMessages + t.ApplyMessages + t.ActivateMessages
+}
+
+// Bytes returns the total wire bytes across kinds.
+func (t Totals) Bytes() int64 { return t.GatherBytes + t.ApplyBytes + t.ActivateBytes }
+
+// Sub returns t - o field by field; the runtime uses it to attribute
+// cumulative counters to individual supersteps.
+func (t Totals) Sub(o Totals) Totals {
+	return Totals{
+		GatherMessages:   t.GatherMessages - o.GatherMessages,
+		ApplyMessages:    t.ApplyMessages - o.ApplyMessages,
+		ActivateMessages: t.ActivateMessages - o.ActivateMessages,
+		GatherBytes:      t.GatherBytes - o.GatherBytes,
+		ApplyBytes:       t.ApplyBytes - o.ApplyBytes,
+		ActivateBytes:    t.ActivateBytes - o.ActivateBytes,
+	}
+}
+
+// TrafficMatrix is the per-link traffic of a run: Messages[i][j] counts the
+// messages machine i sent to machine j, Bytes[i][j] the wire bytes. The
+// diagonal stays zero — machine-local state never touches the transport.
+type TrafficMatrix struct {
+	Messages [][]int64
+	Bytes    [][]int64
+}
+
+// P returns the machine count of the matrix.
+func (m *TrafficMatrix) P() int { return len(m.Messages) }
+
+// TotalMessages sums the message count over every link.
+func (m *TrafficMatrix) TotalMessages() int64 {
+	var total int64
+	for _, row := range m.Messages {
+		for _, c := range row {
+			total += c
+		}
+	}
+	return total
+}
+
+// TotalBytes sums the wire bytes over every link.
+func (m *TrafficMatrix) TotalBytes() int64 {
+	var total int64
+	for _, row := range m.Bytes {
+		for _, c := range row {
+			total += c
+		}
+	}
+	return total
+}
+
+// MemTransport is the in-process Transport: double-buffered per-link queues
+// with single-writer counters and no copying. Sends land in the "sending"
+// buffer while receivers drain the "delivered" buffer, so a phase may send
+// and drain concurrently without locks; Flip swaps the buffers at the phase
+// barrier. Memory visibility across machines comes from the runtime's
+// barrier (a channel handshake), not from the transport itself.
+type MemTransport struct {
+	p int
+	// sending[from][to] and delivered[from][to] are the double-buffered
+	// queues; each queue has exactly one writer (sender from, or receiver
+	// to at drain time), so no locks are needed.
+	sending   [][][]Message
+	delivered [][][]Message
+	// msgs[from][to] / bytes[from][to] are the per-link counters;
+	// kindTotals[from] the per-sender per-kind counters. All single-writer.
+	msgs      [][]int64
+	bytes     [][]int64
+	kindMsgs  [][numKinds]int64
+	kindBytes [][numKinds]int64
+}
+
+// NewMemTransport returns an in-process transport for p machines.
+func NewMemTransport(p int) *MemTransport {
+	t := &MemTransport{
+		p:         p,
+		sending:   make([][][]Message, p),
+		delivered: make([][][]Message, p),
+		msgs:      make([][]int64, p),
+		bytes:     make([][]int64, p),
+		kindMsgs:  make([][numKinds]int64, p),
+		kindBytes: make([][numKinds]int64, p),
+	}
+	for i := 0; i < p; i++ {
+		t.sending[i] = make([][]Message, p)
+		t.delivered[i] = make([][]Message, p)
+		t.msgs[i] = make([]int64, p)
+		t.bytes[i] = make([]int64, p)
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(from, to int, m Message) {
+	t.sending[from][to] = append(t.sending[from][to], m)
+	sz := int64(m.WireSize())
+	t.msgs[from][to]++
+	t.bytes[from][to] += sz
+	k := m.MessageKind()
+	t.kindMsgs[from][k]++
+	t.kindBytes[from][k] += sz
+}
+
+// Flip implements Transport.
+func (t *MemTransport) Flip() {
+	t.sending, t.delivered = t.delivered, t.sending
+}
+
+// Drain implements Transport.
+func (t *MemTransport) Drain(k int) []Message {
+	var out []Message
+	for from := 0; from < t.p; from++ {
+		q := t.delivered[from][k]
+		if len(q) == 0 {
+			continue
+		}
+		out = append(out, q...)
+		t.delivered[from][k] = q[:0]
+	}
+	return out
+}
+
+// Totals implements Transport.
+func (t *MemTransport) Totals() Totals {
+	var out Totals
+	for from := 0; from < t.p; from++ {
+		out.GatherMessages += t.kindMsgs[from][KindGatherFlush]
+		out.ApplyMessages += t.kindMsgs[from][KindApplyBroadcast]
+		out.ActivateMessages += t.kindMsgs[from][KindActivate]
+		out.GatherBytes += t.kindBytes[from][KindGatherFlush]
+		out.ApplyBytes += t.kindBytes[from][KindApplyBroadcast]
+		out.ActivateBytes += t.kindBytes[from][KindActivate]
+	}
+	return out
+}
+
+// Traffic implements Transport.
+func (t *MemTransport) Traffic() *TrafficMatrix {
+	out := &TrafficMatrix{
+		Messages: make([][]int64, t.p),
+		Bytes:    make([][]int64, t.p),
+	}
+	for i := 0; i < t.p; i++ {
+		out.Messages[i] = append([]int64(nil), t.msgs[i]...)
+		out.Bytes[i] = append([]int64(nil), t.bytes[i]...)
+	}
+	return out
+}

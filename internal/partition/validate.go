@@ -15,6 +15,10 @@ type ValidateOptions struct {
 	CapacitySlack float64
 	// AllowUnassigned skips the completeness check; used mid-algorithm.
 	AllowUnassigned bool
+	// SkipCapacity skips the load-bound check entirely; consumers that
+	// execute whatever a partitioner produced (e.g. the engine) only need
+	// completeness.
+	SkipCapacity bool
 }
 
 // Validate checks that a is a structurally valid balanced p-edge
@@ -32,6 +36,9 @@ func Validate(g *graph.Graph, a *Assignment, opts ValidateOptions) error {
 				return fmt.Errorf("partition: edge %d (%d,%d) unassigned", id, e.U, e.V)
 			}
 		}
+	}
+	if opts.SkipCapacity {
+		return nil
 	}
 	cap := opts.Capacity
 	if cap <= 0 {
