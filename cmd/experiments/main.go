@@ -76,7 +76,7 @@ func run() error {
 		cfg.Datasets = keep
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
 	fmt.Printf("generating datasets (seed %d)...\n", *seed)
 	graphs, err := harness.RunTable3(cfg)
 	if err != nil {

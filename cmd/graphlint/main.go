@@ -1,0 +1,140 @@
+// Command graphlint runs the project's static analyzer (internal/analysis,
+// rules GL001..GL006) over every non-test package of the module and reports
+// violations as file:line:col diagnostics. It exits 0 when the tree is
+// clean and 1 when any finding survives suppression, and always prints a
+// per-code summary of findings and suppressions so CI logs are diffable.
+//
+// Usage:
+//
+//	go run ./cmd/graphlint ./...
+//	go run ./cmd/graphlint -rules        # list the rule set
+//
+// Suppress a single finding with a trailing or directly-preceding comment:
+//
+//	//lint:ignore GL002 one-line reason why this site is exempt
+//
+// The reason is mandatory; a directive without one is itself an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/graphpart/graphpart/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rule codes and exit")
+	flag.Parse()
+	if *listRules {
+		for _, rule := range analysis.Rules() {
+			fmt.Printf("%s  %s\n", rule.Code, rule.Doc)
+		}
+		return
+	}
+	// The only accepted package pattern is the whole module; graphlint's
+	// rules are module-wide properties, not per-package opts.
+	for _, arg := range flag.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(os.Stderr, "graphlint: unsupported pattern %q (only ./... is accepted)\n", arg)
+			os.Exit(2)
+		}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphlint:", err)
+		os.Exit(2)
+	}
+	findings, err := run(root, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// run loads the module at root, checks every package, prints diagnostics
+// and the per-code summary to w, and returns the number of findings.
+func run(root string, w io.Writer) (int, error) {
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		return 0, err
+	}
+	findings := map[string]int{}
+	suppressed := map[string]int{}
+	total := 0
+	for _, pkg := range pkgs {
+		res := analysis.Check(pkg)
+		for _, d := range res.Diagnostics {
+			d.Pos.Filename = relPath(root, d.Pos.Filename)
+			fmt.Fprintln(w, d)
+			findings[d.Code]++
+			total++
+		}
+		for code, n := range res.Suppressed {
+			suppressed[code] += n
+		}
+	}
+	printSummary(w, findings, suppressed)
+	return total, nil
+}
+
+// printSummary emits one line per rule code: finding and suppression counts.
+func printSummary(w io.Writer, findings, suppressed map[string]int) {
+	codes := map[string]bool{}
+	for _, rule := range analysis.Rules() {
+		codes[rule.Code] = true
+	}
+	for code := range findings {
+		codes[code] = true
+	}
+	for code := range suppressed {
+		codes[code] = true
+	}
+	var sorted []string
+	for code := range codes {
+		sorted = append(sorted, code) //lint:ignore GL001 sorted on the next line
+	}
+	sort.Strings(sorted)
+	fmt.Fprintln(w, "graphlint summary (findings / suppressed):")
+	for _, code := range sorted {
+		fmt.Fprintf(w, "  %s: %d / %d\n", code, findings[code], suppressed[code])
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPath renders path relative to root when possible, for stable output.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanTree runs the full analyzer over the module and asserts the
+// tree lints clean: zero findings, and a summary whose lines parse. This is
+// the same invocation CI performs, so a regression that introduces a
+// violation fails here before it fails in the pipeline.
+func TestRunCleanTree(t *testing.T) {
+	var buf strings.Builder
+	findings, err := run("../..", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if findings != 0 {
+		t.Fatalf("expected a clean tree, got %d findings:\n%s", findings, out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("summary too short:\n%s", out)
+	}
+	if lines[0] != "graphlint summary (findings / suppressed):" {
+		t.Errorf("unexpected summary header: %q", lines[0])
+	}
+	row := regexp.MustCompile(`^  (GL\d{3}): (\d+) / (\d+)$`)
+	seen := map[string]bool{}
+	for _, line := range lines[1:] {
+		m := row.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable summary line: %q", line)
+			continue
+		}
+		if m[2] != "0" {
+			t.Errorf("summary reports findings on a clean run: %q", line)
+		}
+		seen[m[1]] = true
+	}
+	for _, code := range []string{"GL001", "GL002", "GL003", "GL004", "GL005", "GL006"} {
+		if !seen[code] {
+			t.Errorf("summary missing rule code %s:\n%s", code, out)
+		}
+	}
+}
+
+// TestRelPath keeps diagnostic paths stable relative to the module root.
+func TestRelPath(t *testing.T) {
+	if got := relPath("/a/b", "/a/b/c/d.go"); got != "c/d.go" {
+		t.Errorf("relPath: got %q", got)
+	}
+}

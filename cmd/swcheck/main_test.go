@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives the command body against small generated datasets and
+// asserts it succeeds with parseable per-dataset output — the same smoke
+// coverage every other command's main_test provides.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"G1"}, 8, 42); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 output line, got %d:\n%s", len(lines), buf.String())
+	}
+	re := regexp.MustCompile(`^(G\d+) TLP-SW: \S+ RF=(\d+\.\d{3})$`)
+	for i, want := range []string{"G1"} {
+		m := re.FindStringSubmatch(lines[i])
+		if m == nil {
+			t.Fatalf("line %d %q does not match %v", i, lines[i], re)
+		}
+		if m[1] != want {
+			t.Errorf("line %d dataset = %s, want %s", i, m[1], want)
+		}
+		rf, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || rf < 1 {
+			t.Errorf("line %d RF %q: err=%v rf=%v (want >= 1)", i, m[2], err, rf)
+		}
+	}
+}
+
+// TestRunUnknownDataset asserts the error path callers see as exit status 1.
+func TestRunUnknownDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"G99"}, 10, 42); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

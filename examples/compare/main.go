@@ -30,7 +30,7 @@ func main() {
 	names := make([]string, 0)
 	all := graphpart.AllPartitioners(42)
 	for name := range all {
-		names = append(names, name)
+		names = append(names, name) //lint:ignore GL001 sorted on the next line
 	}
 	sort.Strings(names)
 
@@ -43,7 +43,7 @@ func main() {
 	var rows []row
 	for _, name := range names {
 		pt := all[name]
-		start := time.Now()
+		start := time.Now() //lint:ignore GL002 example prints elapsed time; never fed back into the run
 		a, err := pt.Partition(g, p)
 		if err != nil {
 			log.Fatal(err)

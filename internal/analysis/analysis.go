@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	// Pos locates the violation (file, line, column).
+	Pos token.Position
+	// Code is the rule code, e.g. "GL001".
+	Code string
+	// Message explains the violation and the expected fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// Result is the outcome of checking one package: the surviving diagnostics
+// plus per-code counts of findings and of suppressed findings.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Suppressed counts, per rule code, the findings silenced by a
+	// well-formed //lint:ignore directive.
+	Suppressed map[string]int
+}
+
+// Rule is one graphlint check.
+type Rule struct {
+	// Code is the stable identifier (GL001..).
+	Code string
+	// Doc is the one-line description shown by graphlint -rules.
+	Doc string
+	// check appends the rule's findings for pkg to the report.
+	check func(pkg *Package, r *reporter)
+}
+
+// Rules returns the full rule set in code order.
+func Rules() []Rule {
+	return []Rule{
+		{Code: "GL001", Doc: "order-sensitive accumulation (append / channel send) inside a map-range body", check: checkGL001},
+		{Code: "GL002", Doc: "math/rand import or time.Now call outside internal/rng and cmd/benchsnap", check: checkGL002},
+		{Code: "GL003", Doc: "fmt.Print* call or os.Stdout reference in an internal/ library package", check: checkGL003},
+		{Code: "GL004", Doc: "floating-point += / -= on a captured variable inside goroutine-launched code", check: checkGL004},
+		{Code: "GL005", Doc: "exported identifier in the root package without a doc comment", check: checkGL005},
+		{Code: "GL006", Doc: "sync.Mutex, sync.RWMutex or partition.Assignment passed by value", check: checkGL006},
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	codes  []string
+	reason string
+	pos    token.Position
+}
+
+// reporter accumulates diagnostics for one package and applies suppression.
+type reporter struct {
+	pkg  *Package
+	diag []Diagnostic
+}
+
+// report records a finding at pos.
+func (r *reporter) report(pos token.Pos, code, format string, args ...any) {
+	r.diag = append(r.diag, Diagnostic{
+		Pos:     r.pkg.Fset.Position(pos),
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs every rule over pkg and returns the surviving diagnostics,
+// sorted by position, plus suppression counts.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore GL002 one-line reason
+//
+// either trailing on the offending line or alone on the line directly above
+// it. The reason is mandatory: a directive without one does not suppress
+// anything and is itself reported (as GL000), so blanket or unexplained
+// suppressions cannot land.
+func Check(pkg *Package) Result {
+	r := &reporter{pkg: pkg}
+	for _, rule := range Rules() {
+		rule.check(pkg, r)
+	}
+	directives := collectIgnores(pkg, r)
+	res := Result{Suppressed: map[string]int{}}
+	for _, d := range r.diag {
+		if dir := matchIgnore(directives, d); dir != nil {
+			res.Suppressed[d.Code]++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+	return res
+}
+
+// collectIgnores parses every //lint:ignore directive in the package,
+// reporting malformed ones (missing code or missing reason) as GL000.
+func collectIgnores(pkg *Package, r *reporter) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				var codes []string
+				for len(fields) > 0 && strings.HasPrefix(fields[0], "GL") {
+					codes = append(codes, fields[0])
+					fields = fields[1:]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if len(codes) == 0 {
+					r.report(c.Pos(), "GL000", "lint:ignore directive names no GLxxx rule code")
+					continue
+				}
+				if len(fields) == 0 {
+					r.report(c.Pos(), "GL000", "lint:ignore %s has no reason; a one-line justification is required", strings.Join(codes, " "))
+					continue
+				}
+				out = append(out, ignoreDirective{codes: codes, reason: strings.Join(fields, " "), pos: pos})
+			}
+		}
+	}
+	return out
+}
+
+// matchIgnore returns the directive suppressing d, if any: same file, same
+// rule code, and on the same line as the finding or the line directly above.
+func matchIgnore(dirs []ignoreDirective, d Diagnostic) *ignoreDirective {
+	if d.Code == "GL000" {
+		return nil // malformed directives cannot be suppressed
+	}
+	for i := range dirs {
+		dir := &dirs[i]
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line != d.Pos.Line && dir.pos.Line != d.Pos.Line-1 {
+			continue
+		}
+		for _, code := range dir.codes {
+			if code == d.Code {
+				return dir
+			}
+		}
+	}
+	return nil
+}
+
+// inspectFiles walks every file of the package.
+func inspectFiles(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// expectation is one diagnostic a snippet file declares it should produce,
+// via a trailing "// want GLxxx" comment (or "// want-next GLxxx" on the
+// line above, for diagnostics that land on lines which cannot carry a
+// trailing marker, such as //lint:ignore directive lines).
+type expectation struct {
+	file string
+	line int
+	code string
+}
+
+func (e expectation) String() string {
+	return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.code)
+}
+
+// parseWants extracts the expectations from every .go file in dir.
+func parseWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, marker := range []struct {
+				prefix string
+				offset int
+			}{
+				{"// want-next ", 1},
+				{"// want ", 0},
+			} {
+				idx := strings.Index(line, marker.prefix)
+				if idx < 0 {
+					continue
+				}
+				for _, code := range strings.Fields(line[idx+len(marker.prefix):]) {
+					if !strings.HasPrefix(code, "GL") {
+						t.Fatalf("%s:%d: malformed want comment: %q", e.Name(), i+1, line)
+					}
+					out = append(out, expectation{file: e.Name(), line: i + 1 + marker.offset, code: code})
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// diagKeys renders a Result's diagnostics in the expectation format.
+func diagKeys(res Result) []expectation {
+	var out []expectation
+	for _, d := range res.Diagnostics {
+		out = append(out, expectation{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line, code: d.Code})
+	}
+	return out
+}
+
+func sortExpectations(es []expectation) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.code < b.code
+	})
+}
+
+// TestCorpus checks every snippet package under testdata/src against its
+// declared expectations. The import path each package is checked under is
+// part of the case, because several rules key off the package's location in
+// the module (internal/, internal/rng, the module root).
+func TestCorpus(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := loader.ModulePath()
+	cases := []struct {
+		name string
+		dir  string
+		// asPath is the fabricated import path, with "<mod>" standing in
+		// for the module path.
+		asPath string
+		// suppressed is the expected per-code suppression count.
+		suppressed map[string]int
+	}{
+		{name: "gl001bad", dir: "gl001bad", asPath: "<mod>/internal/gl001bad"},
+		{name: "gl001ok", dir: "gl001ok", asPath: "<mod>/internal/gl001ok",
+			suppressed: map[string]int{"GL001": 1}},
+		{name: "gl002bad", dir: "gl002bad", asPath: "<mod>/internal/gl002bad"},
+		// The same constructs are clean when the package *is* the sanctioned
+		// randomness home.
+		{name: "gl002ok", dir: "gl002ok", asPath: "<mod>/internal/rng"},
+		{name: "gl003bad", dir: "gl003bad", asPath: "<mod>/internal/gl003bad"},
+		// GL003 only applies under internal/; check the ok snippet under
+		// both a cmd/ path (rule not applicable) and an internal/ path
+		// (applicable, but the code is clean).
+		{name: "gl003ok-cmd", dir: "gl003ok", asPath: "<mod>/cmd/gl003ok"},
+		{name: "gl003ok-internal", dir: "gl003ok", asPath: "<mod>/internal/gl003ok"},
+		{name: "gl004bad", dir: "gl004bad", asPath: "<mod>/internal/gl004bad"},
+		{name: "gl004ok", dir: "gl004ok", asPath: "<mod>/internal/gl004ok"},
+		// GL005 keys off the module root path: the facade package is the
+		// public surface, so it alone must be fully documented.
+		{name: "gl005bad", dir: "gl005bad", asPath: "<mod>"},
+		{name: "gl005ok", dir: "gl005ok", asPath: "<mod>"},
+		{name: "gl006bad", dir: "gl006bad", asPath: "<mod>/internal/gl006bad"},
+		{name: "gl006ok", dir: "gl006ok", asPath: "<mod>/internal/gl006ok"},
+		{name: "suppress", dir: "suppress", asPath: "<mod>/internal/suppress",
+			suppressed: map[string]int{"GL001": 1}},
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := loader.CheckDir(dir, strings.ReplaceAll(tc.asPath, "<mod>", mod))
+			if err != nil {
+				t.Fatalf("loading %s: %v", dir, err)
+			}
+			res := Check(pkg)
+
+			want := parseWants(t, dir)
+			got := diagKeys(res)
+			sortExpectations(want)
+			sortExpectations(got)
+			if len(want) != len(got) {
+				t.Errorf("diagnostic count: got %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+			} else {
+				for i := range want {
+					if want[i] != got[i] {
+						t.Errorf("diagnostic %d: got %v, want %v", i, got[i], want[i])
+					}
+				}
+			}
+			for _, d := range res.Diagnostics {
+				covered[d.Code] = true
+			}
+
+			wantSup := tc.suppressed
+			if wantSup == nil {
+				wantSup = map[string]int{}
+			}
+			if len(res.Suppressed) != len(wantSup) {
+				t.Errorf("suppressed: got %v, want %v", res.Suppressed, wantSup)
+			} else {
+				for code, n := range wantSup {
+					if res.Suppressed[code] != n {
+						t.Errorf("suppressed[%s]: got %d, want %d", code, res.Suppressed[code], n)
+					}
+				}
+			}
+		})
+	}
+	// Every rule (plus the directive-hygiene pseudo-rule GL000) must have at
+	// least one firing snippet, or the corpus has rotted.
+	for _, rule := range Rules() {
+		if !covered[rule.Code] {
+			t.Errorf("no corpus snippet triggers %s", rule.Code)
+		}
+	}
+	if !covered["GL000"] {
+		t.Error("no corpus snippet triggers GL000 (malformed directive)")
+	}
+}
+
+// TestModuleClean runs every rule over every package of the module itself:
+// the tree must lint clean, and every suppression in it must carry a reason
+// (a reasonless one would surface as GL000 and fail this test).
+func TestModuleClean(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		res := Check(pkg)
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s: %s", pkg.Path, d.String())
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package gl001bad holds GL001 violations: order-sensitive accumulation
+// inside map-range bodies.
+package gl001bad
+
+// CollectValues appends in map-iteration order.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want GL001
+	}
+	return out
+}
+
+// SendKeys delivers keys in map-iteration order.
+func SendKeys(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want GL001
+	}
+}
+
+// NestedAppend appends to a captured slice through a struct field.
+type NestedAppend struct {
+	rows []string
+}
+
+// Fill appends to the receiver's slice in map-iteration order.
+func (n *NestedAppend) Fill(m map[string]string) {
+	for _, v := range m {
+		n.rows = append(n.rows, v) // want GL001
+	}
+}

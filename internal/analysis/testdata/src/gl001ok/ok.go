@@ -1,0 +1,47 @@
+// Package gl001ok holds map-range patterns GL001 must NOT flag:
+// order-insensitive reductions, keyed writes, loop-local appends, and the
+// sanctioned collect-then-sort pattern under a reasoned suppression.
+package gl001ok
+
+import "sort"
+
+// Sum is a commutative reduction: order-insensitive.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes keyed by the range variable: order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// LocalAppend appends to a slice declared inside the loop body.
+func LocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned fix: collect, sort, then iterate.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) //lint:ignore GL001 keys sorted on the next line
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,13 @@
+// Package gl002bad holds GL002 violations: unseeded randomness and
+// wall-clock reads outside the exempt packages.
+package gl002bad
+
+import (
+	"math/rand" // want GL002
+	"time"
+)
+
+// Jitter mixes wall-clock state into a computation.
+func Jitter() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10)) // want GL002
+}

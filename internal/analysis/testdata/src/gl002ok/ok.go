@@ -1,0 +1,13 @@
+// Package gl002ok is checked under the internal/rng import path, where
+// math/rand and time.Now are exempt (the seeded generator wraps them).
+package gl002ok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sample draws from the exempt package's generator.
+func Sample(r *rand.Rand) int {
+	return r.Intn(int(time.Now().Unix()%7) + 1)
+}

@@ -1,0 +1,15 @@
+// Package gl003bad holds GL003 violations: terminal writes from an
+// internal library package.
+package gl003bad
+
+import (
+	"fmt"
+	"os"
+)
+
+// Report prints straight to stdout from library code.
+func Report(rf float64) {
+	fmt.Printf("RF=%.3f\n", rf)  // want GL003
+	fmt.Println("done")          // want GL003
+	fmt.Fprintln(os.Stdout, "x") // want GL003
+}

@@ -1,0 +1,21 @@
+// Package gl003ok holds the sanctioned output shapes: internal code writes
+// to a caller-supplied io.Writer or returns data; only this snippet's
+// fabricated cmd/ path may print. It is checked twice — once as a cmd/
+// package (everything allowed) and once as internal/ (io.Writer shapes
+// still clean).
+package gl003ok
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes wherever the caller points it.
+func Render(w io.Writer, rf float64) {
+	fmt.Fprintf(w, "RF=%.3f\n", rf)
+}
+
+// Describe returns data instead of printing it.
+func Describe(rf float64) string {
+	return fmt.Sprintf("RF=%.3f", rf)
+}

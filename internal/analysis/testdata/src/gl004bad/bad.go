@@ -1,0 +1,35 @@
+// Package gl004bad holds GL004 violations: captured floating-point
+// accumulators mutated from goroutine-launched func literals.
+package gl004bad
+
+import (
+	"sync"
+
+	"github.com/graphpart/graphpart/internal/parallel"
+)
+
+// RacySum accumulates into a captured float from raw goroutines.
+func RacySum(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		x := x
+		go func() {
+			defer wg.Done()
+			sum += x // want GL004
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// PoolSum accumulates into a captured float from the worker pool.
+func PoolSum(xs []float64) float64 {
+	var total float64
+	parallel.ForEach(len(xs), 0, func(i int) {
+		total += xs[i] // want GL004
+		total -= 0.5   // want GL004
+	})
+	return total
+}

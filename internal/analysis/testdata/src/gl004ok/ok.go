@@ -1,0 +1,54 @@
+// Package gl004ok holds the sanctioned accumulation shapes: per-goroutine
+// slots folded in canonical order, integer counters, and loop-local floats.
+package gl004ok
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/graphpart/graphpart/internal/parallel"
+)
+
+// SlotSum is the slot-accumulator pattern: each goroutine owns its element.
+func SlotSum(xs []float64) float64 {
+	slots := make([]float64, len(xs))
+	parallel.ForEach(len(xs), 0, func(i int) {
+		slots[i] = xs[i] * 2 // indexed write: owned slot
+	})
+	sum := 0.0
+	for _, s := range slots {
+		sum += s // sequential canonical fold
+	}
+	return sum
+}
+
+// CountMatches accumulates an integer (no float associativity hazard;
+// the race is the -race job's business, not GL004's).
+func CountMatches(xs []float64) int64 {
+	var n int64
+	var wg sync.WaitGroup
+	for range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			atomic.AddInt64(&n, 1)
+		}()
+	}
+	wg.Wait()
+	return n
+}
+
+// LocalFloat accumulates a float declared inside the literal.
+func LocalFloat(xs []float64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := 0.0
+		for _, x := range xs {
+			local += x
+		}
+		_ = local
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+// Package gl005bad is checked under the module root path, where every
+// exported identifier must carry a doc comment.
+package gl005bad
+
+func Undocumented() {} // want GL005
+
+type Widget struct{} // want GL005
+
+var DefaultWidget = Widget{} // want GL005
+
+const MaxWidgets = 8 // want GL005
+
+// The comment below is detached by the blank line, so the group has no
+// decl-level doc and exported members are flagged per name.
+
+var (
+	level = 1
+	Limit = 2 // want GL005
+)

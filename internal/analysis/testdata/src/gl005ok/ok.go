@@ -1,0 +1,26 @@
+// Package gl005ok is checked twice: under the module root path (all
+// exported identifiers below are documented, so it stays clean) and under
+// an internal path (where GL005 does not apply at all).
+package gl005ok
+
+// Documented does nothing, verbosely.
+func Documented() {}
+
+// Gadget is a documented exported type.
+type Gadget struct{}
+
+// DefaultGadget is the zero Gadget.
+var DefaultGadget = Gadget{}
+
+// Orders re-exported as a documented group.
+const (
+	// OrderA is the first order.
+	OrderA = iota
+	OrderB // OrderB rides on the decl-level doc.
+)
+
+func unexported() {} // unexported identifiers never need docs
+
+var internalState = 1
+
+func init() { _ = internalState; unexported() }

@@ -1,0 +1,31 @@
+// Package gl006bad holds GL006 violations: locks and assignments passed
+// by value.
+package gl006bad
+
+import (
+	"sync"
+
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// LockedAdd copies the caller's mutex: the lock taken is not the lock held.
+func LockedAdd(mu sync.Mutex, n *int) { // want GL006
+	mu.Lock()
+	defer mu.Unlock()
+	*n++
+}
+
+// Snapshot copies the assignment header; mutations through the copy corrupt
+// the original's load accounting.
+func Snapshot(a partition.Assignment) int { // want GL006
+	return a.P()
+}
+
+// holder carries value methods to exercise receiver checking.
+type holder struct{}
+
+// With takes an RWMutex by value.
+func (holder) With(mu sync.RWMutex) { // want GL006
+	mu.RLock()
+	mu.RUnlock()
+}

@@ -1,0 +1,34 @@
+// Package gl006ok holds the sanctioned shapes: locks and assignments
+// travel as pointers (or live in structs that are themselves pointered).
+package gl006ok
+
+import (
+	"sync"
+
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// LockedAdd takes the caller's mutex by pointer.
+func LockedAdd(mu *sync.Mutex, n *int) {
+	mu.Lock()
+	defer mu.Unlock()
+	*n++
+}
+
+// Inspect reads through a pointer to the shared assignment.
+func Inspect(a *partition.Assignment) int {
+	return a.P()
+}
+
+// guarded embeds a mutex; methods use a pointer receiver.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Incr locks the embedded mutex through the pointer receiver.
+func (g *guarded) Incr() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -1,0 +1,47 @@
+// Package suppress exercises the //lint:ignore directive machinery:
+// well-formed directives silence a finding (counted as suppressed),
+// malformed ones are themselves GL000 findings and silence nothing.
+package suppress
+
+// Reasoned is suppressed: directive with code and reason on the line above.
+func Reasoned(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore GL001 output order is asserted sorted by the caller
+		out = append(out, v)
+	}
+	return out
+}
+
+// NoReason shows a directive without a reason: it suppresses nothing and is
+// itself reported.
+func NoReason(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		// want-next GL000
+		//lint:ignore GL001
+		out = append(out, v) // want GL001
+	}
+	return out
+}
+
+// NoCode shows a directive naming no rule: reported, suppresses nothing.
+func NoCode(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		// want-next GL000
+		//lint:ignore this is not a rule code
+		out = append(out, v) // want GL001
+	}
+	return out
+}
+
+// WrongCode directives do not silence other rules' findings.
+func WrongCode(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//lint:ignore GL006 wrong code for this finding
+		out = append(out, v) // want GL001
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package core
+
+import "github.com/graphpart/graphpart/internal/invariants"
+
+// assertRoundInvariants cross-checks the incremental frontier bookkeeping
+// against its definition at a point where the round's state is quiescent
+// (after a completed absorption, never mid-vertex): the frontier N(P_k) is
+// exactly the non-member vertices with at least one alive edge into P_k, so
+//
+//	1 <= cin[v] <= aliveDeg[v]   for every live frontier vertex, and
+//	eout == sum of cin over the live frontier.
+//
+// The incremental ein/eout counters drive the paper's stage switch
+// (M = ein/eout crossing 1), so a drift here silently changes which stage
+// selects every subsequent vertex. No-op unless built with
+// -tags graphpart_invariants.
+func (st *runState) assertRoundInvariants() {
+	if !invariants.Enabled {
+		return
+	}
+	invariants.Assertf(st.ein >= 0 && st.eout >= 0,
+		"round %d: negative edge counters ein=%d eout=%d", st.round, st.ein, st.eout)
+	var sum int64
+	for _, v := range st.frontierList {
+		if !st.inFrontier(v) || st.isMember(v) {
+			continue
+		}
+		c := st.cin[v]
+		invariants.Assertf(c >= 1 && c <= st.aliveDeg[v],
+			"round %d: frontier vertex %d has cin=%d outside [1,%d]", st.round, v, c, st.aliveDeg[v])
+		sum += int64(c)
+	}
+	invariants.Assertf(sum == st.eout,
+		"round %d: eout=%d but frontier cin sums to %d", st.round, st.eout, sum)
+}

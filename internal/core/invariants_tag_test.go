@@ -1,0 +1,43 @@
+//go:build graphpart_invariants
+
+package core
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// TestTLPUnderSanitizer runs both stages of the partitioner with the frontier
+// cross-checks compiled in: every completed round must satisfy
+// eout == sum(cin) over the live frontier, or the run panics.
+func TestTLPUnderSanitizer(t *testing.T) {
+	r := rng.New(7)
+	b := graph.NewBuilder(400)
+	for i := 1; i < 400; i++ {
+		_ = b.AddEdge(graph.Vertex(i), graph.Vertex(r.Intn(i)))
+	}
+	for i := 0; i < 800; i++ {
+		_ = b.AddEdge(graph.Vertex(r.Intn(400)), graph.Vertex(r.Intn(400)))
+	}
+	g := b.Build()
+	for _, p := range []int{2, 5, 10} {
+		a, err := MustNew(Options{Seed: 42}).Partition(g, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := partition.Validate(g, a, partition.ValidateOptions{}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+	// The ablation variant exercises the pure stage-II policy too.
+	a, err := MustNewTLPR(0, Options{Seed: 42}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Validate(g, a, partition.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/invariants"
 	"github.com/graphpart/graphpart/internal/partition"
 )
 
@@ -141,6 +142,10 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 			stats.PartialAbsorptions++
 			continue
 		}
+		// clean tracks whether the round's last absorption completed; the
+		// frontier cross-check is only meaningful in that quiescent state.
+		clean := true
+		prevEin := st.ein
 		for int(st.ein) < capC && assigned < m {
 			if st.eout == 0 {
 				// Frontier exhausted (component consumed).
@@ -156,6 +161,7 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 				assigned += n
 				if !full {
 					stats.PartialAbsorptions++
+					clean = false
 					break
 				}
 				continue
@@ -183,6 +189,7 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 				assigned += n
 				if !full {
 					stats.PartialAbsorptions++
+					clean = false
 					break
 				}
 				continue
@@ -199,8 +206,17 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 			assigned += n
 			if !full {
 				stats.PartialAbsorptions++
+				clean = false
 				break
 			}
+			if invariants.Enabled {
+				invariants.Assertf(st.ein >= prevEin && int(st.ein) <= capC,
+					"round %d: ein went from %d to %d (capacity %d)", st.round, prevEin, st.ein, capC)
+				prevEin = st.ein
+			}
+		}
+		if clean {
+			st.assertRoundInvariants()
 		}
 	}
 	// Balance sweep: any leftover edges (LiteralBreak mode, or capacity

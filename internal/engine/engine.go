@@ -331,7 +331,9 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 			activeMasters += m.activeMasters
 		}
 		tot := tr.Totals()
-		stats.PerStep = append(stats.PerStep, tot.Sub(prev))
+		delta := tot.Sub(prev)
+		stats.PerStep = append(stats.PerStep, delta)
+		assertStepBalanced(e.machines, step, delta)
 		prev = tot
 	}
 	stats.GatherMessages = prev.GatherMessages
@@ -341,6 +343,7 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 	stats.ApplyBytes = prev.ApplyBytes
 	stats.ActivateBytes = prev.ActivateBytes
 	stats.Links = tr.Traffic()
+	assertTrafficConsistent(stats)
 	// Assemble the result from master replicas; isolated vertices keep
 	// their initial value.
 	n := e.g.NumVertices()

@@ -1,0 +1,61 @@
+package engine
+
+import "github.com/graphpart/graphpart/internal/invariants"
+
+// drainInbox is the machines' single drain point; in sanitizer builds it
+// counts received messages so the coordinator can balance the books against
+// the transport's send counters.
+func (m *machine) drainInbox() []Message {
+	msgs := m.tr.Drain(m.id)
+	if invariants.Enabled {
+		m.drained += int64(len(msgs))
+	}
+	return msgs
+}
+
+// assertStepBalanced checks that every message sent during a superstep was
+// drained by its receiver within that superstep. The phase schedule
+// guarantees this (each phase's sends are drained in a later phase before
+// finalize ends), so an imbalance means a message was lost in the transport
+// or delivered outside its phase — exactly the class of bug a transport
+// implementation can introduce silently. The coordinator calls this between
+// supersteps, after the finalize barrier, so machine counters are quiescent.
+// No-op unless built with -tags graphpart_invariants.
+func assertStepBalanced(machines []*machine, step int, delta Totals) {
+	if !invariants.Enabled {
+		return
+	}
+	var received int64
+	for _, m := range machines {
+		received += m.drained
+		m.drained = 0
+	}
+	invariants.Assertf(received == delta.Messages(),
+		"superstep %d: transport sent %d messages but machines drained %d", step, delta.Messages(), received)
+}
+
+// assertTrafficConsistent checks the run's per-link traffic matrix against
+// the per-kind totals: the diagonal must be zero (machine-local state never
+// touches the transport) and row/column sums must add up to the same grand
+// totals as the per-kind counters. No-op unless built with
+// -tags graphpart_invariants.
+func assertTrafficConsistent(stats Stats) {
+	if !invariants.Enabled {
+		return
+	}
+	links := stats.Links
+	if links == nil {
+		return
+	}
+	for i := range links.Messages {
+		invariants.Assertf(links.Messages[i][i] == 0 && links.Bytes[i][i] == 0,
+			"traffic matrix diagonal [%d][%d] is nonzero: %d messages / %d bytes",
+			i, i, links.Messages[i][i], links.Bytes[i][i])
+	}
+	invariants.Assertf(links.TotalMessages() == stats.Messages(),
+		"traffic matrix totals %d messages but per-kind counters total %d",
+		links.TotalMessages(), stats.Messages())
+	invariants.Assertf(links.TotalBytes() == stats.Bytes(),
+		"traffic matrix totals %d bytes but per-kind counters total %d",
+		links.TotalBytes(), stats.Bytes())
+}

@@ -1,0 +1,28 @@
+//go:build graphpart_invariants
+
+package engine
+
+import (
+	"testing"
+)
+
+// TestEngineUnderSanitizer runs the GAS runtime with message accounting
+// compiled in: every superstep must drain exactly what was sent, and the
+// final traffic matrix must agree with the per-kind counters, or the run
+// panics.
+func TestEngineUnderSanitizer(t *testing.T) {
+	g := testGraph(11, 200, 500)
+	for _, p := range []int{2, 8} {
+		e, err := New(g, partitioned(t, g, p))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		_, stats, err := e.Run(NewPageRank(g.NumVertices(), 0.85, 1e-8), 25)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if stats.Supersteps == 0 || stats.Messages() == 0 {
+			t.Fatalf("p=%d: run did nothing (steps=%d msgs=%d)", p, stats.Supersteps, stats.Messages())
+		}
+	}
+}

@@ -88,6 +88,10 @@ type machine struct {
 	// activeMasters is the post-finalize count of active mastered vertices;
 	// the coordinator reads it between supersteps to decide termination.
 	activeMasters int
+	// drained counts messages received this superstep; only maintained in
+	// sanitizer builds (see invariants.go), read by the coordinator at the
+	// superstep boundary.
+	drained int64
 }
 
 // loop runs phases as they are commanded until cmds closes. One goroutine
@@ -165,7 +169,7 @@ func (m *machine) gather() {
 // sequential fold over the sorted neighbour list), applies, and broadcasts
 // the outcome to every mirror.
 func (m *machine) apply() {
-	for _, msg := range m.tr.Drain(m.id) {
+	for _, msg := range m.drainInbox() {
 		f := msg.(*GatherFlush)
 		acc := m.acc[f.MasterLocal]
 		for j, s := range f.Slots {
@@ -203,7 +207,7 @@ func (m *machine) apply() {
 // is escalated with an Activate notice to the master machine; the
 // nextActive flag doubles as the per-machine dedup.
 func (m *machine) scatter() {
-	for _, msg := range m.tr.Drain(m.id) {
+	for _, msg := range m.drainInbox() {
 		b := msg.(*ApplyBroadcast)
 		i := b.MirrorLocal
 		m.value[i] = b.Value
@@ -232,7 +236,7 @@ func (m *machine) scatter() {
 // mirrors of every vertex that ended up active beyond what its broadcast
 // said — so all replicas agree on the activation set before finalize.
 func (m *machine) activate() {
-	for _, msg := range m.tr.Drain(m.id) {
+	for _, msg := range m.drainInbox() {
 		m.nextActive[msg.(*Activate).Local] = true
 	}
 	for i := range m.verts {
@@ -249,7 +253,7 @@ func (m *machine) activate() {
 // clears the per-superstep flags and counts the active masters the
 // coordinator uses for the termination check.
 func (m *machine) finalize() {
-	for _, msg := range m.tr.Drain(m.id) {
+	for _, msg := range m.drainInbox() {
 		m.nextActive[msg.(*Activate).Local] = true
 	}
 	m.activeMasters = 0

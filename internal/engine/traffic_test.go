@@ -1,0 +1,52 @@
+package engine
+
+import "testing"
+
+// TestTrafficMatrixConsistent runs the engine in the default (non-sanitizer)
+// build and checks the per-link traffic matrix against the per-kind stats
+// counters: a zero diagonal (machine-local state never touches the
+// transport) and row/column grand totals equal to the counters — the same
+// books the tagged sanitizer balances on every run.
+func TestTrafficMatrixConsistent(t *testing.T) {
+	g := testGraph(21, 300, 700)
+	for _, p := range []int{2, 8} {
+		e, err := New(g, partitioned(t, g, p))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		_, stats, err := e.Run(NewPageRank(g.NumVertices(), 0.85, 1e-8), 25)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		links := stats.Links
+		if links == nil {
+			t.Fatalf("p=%d: no traffic matrix", p)
+		}
+		if links.P() != p {
+			t.Fatalf("p=%d: matrix is %dx%d", p, links.P(), links.P())
+		}
+		for i := 0; i < p; i++ {
+			if links.Messages[i][i] != 0 || links.Bytes[i][i] != 0 {
+				t.Errorf("p=%d: diagonal [%d][%d] nonzero: %d msgs / %d bytes",
+					p, i, i, links.Messages[i][i], links.Bytes[i][i])
+			}
+		}
+		if got, want := links.TotalMessages(), stats.Messages(); got != want {
+			t.Errorf("p=%d: matrix totals %d messages, stats count %d", p, got, want)
+		}
+		if got, want := links.TotalBytes(), stats.Bytes(); got != want {
+			t.Errorf("p=%d: matrix totals %d bytes, stats count %d", p, got, want)
+		}
+		if p > 1 && stats.Messages() == 0 {
+			t.Errorf("p=%d: no messages moved for a partitioned run", p)
+		}
+		// The per-superstep attribution must also add back up to the totals.
+		var perStep int64
+		for _, s := range stats.PerStep {
+			perStep += s.Messages()
+		}
+		if perStep != stats.Messages() {
+			t.Errorf("p=%d: per-step messages sum to %d, total is %d", p, perStep, stats.Messages())
+		}
+	}
+}

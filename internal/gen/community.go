@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math"
+	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/rng"
@@ -202,10 +203,14 @@ func Collaboration(cfg CollabConfig, r *rng.RNG) *graph.Graph {
 				break
 			}
 		}
+		// The pair set is order-independent (the accumulator dedupes and
+		// the builder sorts), but sort anyway so determinism is structural
+		// rather than argued.
 		list := make([]graph.Vertex, 0, len(authors))
 		for a := range authors {
-			list = append(list, a)
+			list = append(list, a) //lint:ignore GL001 sorted on the next line
 		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
 		for i := 0; i < len(list); i++ {
 			for j := i + 1; j < len(list); j++ {
 				acc.add(list[i], list[j])

@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"sort"
+
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/rng"
 )
@@ -73,7 +75,15 @@ func BarabasiAlbert(n, edgesPerVertex int, r *rng.RNG) *graph.Graph {
 			}
 			chosen[t] = struct{}{}
 		}
+		// Append in sorted order: targets feeds later index-addressed
+		// sampling, so map-iteration order here would make the whole
+		// generator nondeterministic across runs (found by GL001).
+		picked := make([]graph.Vertex, 0, len(chosen))
 		for t := range chosen {
+			picked = append(picked, t) //lint:ignore GL001 sorted on the next line
+		}
+		sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+		for _, t := range picked {
 			_ = b.AddEdge(graph.Vertex(v), t)
 			targets = append(targets, graph.Vertex(v), t)
 		}

@@ -92,7 +92,7 @@ func RunAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
 		d := cfg.Datasets[i/len(roster)]
 		r := roster[i%len(roster)]
 		g := graphs[d.Notation]
-		start := time.Now()
+		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
 		a, err := r.run(g, p, cfg.Seed)
 		if errors.Is(err, errSkipped) {
 			return ablationCell{skipped: true}, nil

@@ -112,7 +112,7 @@ func RunEngineComparison(cfg Config, graphs map[string]*graph.Graph, p int) erro
 			}
 			return out, nil
 		}
-		start := time.Now()
+		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
 		a, err := r.make(cfg.Seed).Partition(g, p)
 		if err != nil {
 			return nil, fmt.Errorf("harness: engine comparison %s on %s: %w", r.name, d.Notation, err)
@@ -123,7 +123,7 @@ func RunEngineComparison(cfg Config, graphs map[string]*graph.Graph, p int) erro
 			return nil, fmt.Errorf("harness: engine build %s on %s: %w", r.name, d.Notation, err)
 		}
 		for pi, pr := range programs {
-			start = time.Now()
+			start = time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
 			_, stats, err := e.Run(pr.make(g), pr.max)
 			if err != nil {
 				return nil, fmt.Errorf("harness: engine run %s/%s on %s: %w", r.name, pr.name, d.Notation, err)

@@ -33,7 +33,9 @@ type Config struct {
 	Datasets []gen.Dataset
 	// Ps is the list of partition counts; nil means {10, 15, 20}.
 	Ps []int
-	// Out receives the rendered tables; nil means os.Stdout.
+	// Out receives the rendered tables; nil discards them (callers that
+	// want terminal output pass os.Stdout explicitly — the library never
+	// chooses the destination itself).
 	Out io.Writer
 	// CSVDir, when non-empty, also writes one CSV per experiment there.
 	CSVDir string
@@ -56,7 +58,7 @@ func (c Config) withDefaults() Config {
 		c.Ps = []int{10, 15, 20}
 	}
 	if c.Out == nil {
-		c.Out = os.Stdout
+		c.Out = io.Discard
 	}
 	return c
 }
@@ -98,7 +100,7 @@ func Algorithms(seed uint64) []partition.Partitioner {
 
 // runOne partitions g and measures RF/balance/time.
 func runOne(g *graph.Graph, pt partition.Partitioner, dataset string, p int) (Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
 	a, err := pt.Partition(g, p)
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: %s on %s p=%d: %w", pt.Name(), dataset, p, err)

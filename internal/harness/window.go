@@ -56,7 +56,7 @@ func RunWindowAblation(cfg Config, graphs map[string]*graph.Graph, p int) error 
 		}
 		w := window.New(window.Config{Seed: cfg.Seed, WindowEdges: win})
 		src := source.FromGraph(g, source.OrderBFS, cfg.Seed)
-		start := time.Now()
+		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
 		a, stats, err := w.PartitionStreamStats(src, p)
 		if err != nil {
 			return windowCell{}, fmt.Errorf("harness: window ablation %gC on %s: %w", mult, d.Notation, err)

@@ -1,0 +1,10 @@
+//go:build !graphpart_invariants
+
+package invariants
+
+// Enabled reports whether the sanitizer is compiled in.
+const Enabled = false
+
+// Assertf is a no-op in the default build. Call sites must still gate on
+// Enabled so the compiler can remove the condition and argument evaluation.
+func Assertf(cond bool, format string, args ...any) {}

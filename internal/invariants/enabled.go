@@ -1,0 +1,15 @@
+//go:build graphpart_invariants
+
+package invariants
+
+import "fmt"
+
+// Enabled reports whether the sanitizer is compiled in.
+const Enabled = true
+
+// Assertf panics with a formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("graphpart invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,22 @@
+// Package invariants is the switch for the runtime sanitizer: expensive
+// cross-checks of the data structures the paper's results depend on (edge
+// assignment accounting, frontier bookkeeping, transport traffic), compiled
+// in only under the graphpart_invariants build tag.
+//
+//	go test -tags graphpart_invariants ./internal/...
+//
+// In the default build Enabled is the constant false, so every check site of
+// the form
+//
+//	if invariants.Enabled {
+//	    invariants.Assertf(cond, "...")
+//	}
+//
+// is dead code the compiler removes entirely — the sanitizer costs nothing
+// when it is off, including the evaluation of the condition and arguments.
+// Check sites must follow that gated form rather than calling Assertf
+// unconditionally. A failed assertion panics: sanitizer builds are for tests
+// and debugging runs, where a loud stop beats a silently wrong number.
+// Published experiment numbers come from default (non-sanitizer) builds; see
+// EXPERIMENTS.md.
+package invariants

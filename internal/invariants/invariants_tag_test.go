@@ -1,0 +1,32 @@
+//go:build graphpart_invariants
+
+package invariants
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledInSanitizerBuild(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled is false under the graphpart_invariants tag")
+	}
+}
+
+func TestAssertfPanicsWithMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assertf(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "graphpart invariant violated") || !strings.Contains(msg, "load 3") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	Assertf(false, "load %d", 3)
+}
+
+func TestAssertfTruePasses(t *testing.T) {
+	Assertf(true, "never formatted")
+}

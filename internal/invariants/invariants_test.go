@@ -1,0 +1,14 @@
+//go:build !graphpart_invariants
+
+package invariants
+
+import "testing"
+
+// The default build must compile the sanitizer out: Enabled is the constant
+// false and Assertf never panics, whatever it is fed.
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled is true without the graphpart_invariants tag")
+	}
+	Assertf(false, "must not panic in the default build")
+}

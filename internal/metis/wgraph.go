@@ -182,7 +182,7 @@ func contract(w *wgraph, match []int32, coarseN int) (*wgraph, []int32) {
 		}
 		lst := make([]arc, 0, len(merge))
 		for to, wt := range merge {
-			lst = append(lst, arc{to, wt})
+			lst = append(lst, arc{to, wt}) //lint:ignore GL001 sorted by .to two lines below
 		}
 		sort.Slice(lst, func(i, j int) bool { return lst[i].to < lst[j].to })
 		arcs[c] = lst

@@ -1,0 +1,61 @@
+//go:build graphpart_invariants
+
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+func sanitizerGraph() *graph.Graph {
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}, {1, 4}} {
+		_ = b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// TestCorruptedAssignmentTripsSanitizer plants the footprint of an "edge
+// assigned twice" bug — the tracked loads count one more edge than the parts
+// array accounts for — and checks that Validate panics instead of blessing
+// the assignment.
+func TestCorruptedAssignmentTripsSanitizer(t *testing.T) {
+	g := sanitizerGraph()
+	a := MustNew(g.NumEdges(), 2)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), id%2)
+	}
+	a.loads[0]++ // the double-counted edge
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Validate accepted an assignment with inconsistent loads")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "double-counted") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	_ = Validate(g, a, ValidateOptions{})
+}
+
+// TestValidAssignmentPassesSanitizer runs the instrumented Validate and
+// Compute paths on a healthy assignment: no panic, same results.
+func TestValidAssignmentPassesSanitizer(t *testing.T) {
+	g := sanitizerGraph()
+	a := MustNew(g.NumEdges(), 2)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), id%2)
+	}
+	if err := Validate(g, a, ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compute(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReplicationFactor < 1 {
+		t.Fatalf("implausible RF %v", m.ReplicationFactor)
+	}
+}

@@ -66,6 +66,7 @@ func Compute(g *graph.Graph, a *Assignment) (Metrics, error) {
 		}
 		replicas, spanned := replicaTotals(seen)
 		m.TotalReplicas, m.SpannedVertices = replicas, spanned
+		assertReplicaConsistent(g, a, replicas)
 		if n > 0 {
 			// The paper divides by |V|; isolated vertices (degree 0)
 			// never appear in any partition and still count in the

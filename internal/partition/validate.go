@@ -29,6 +29,7 @@ func Validate(g *graph.Graph, a *Assignment, opts ValidateOptions) error {
 	if a.NumEdges() != g.NumEdges() {
 		return fmt.Errorf("partition: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
 	}
+	assertLoadsConsistent(a)
 	if !opts.AllowUnassigned {
 		for id := 0; id < g.NumEdges(); id++ {
 			if !a.IsAssigned(graph.EdgeID(id)) {

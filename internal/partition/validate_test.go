@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// TestValidateCapacityExact places exactly C = ceil(m/p) edges in one
+// partition: the bound is inclusive, so the assignment must validate
+// strictly, and one more edge must push it over.
+func TestValidateCapacityExact(t *testing.T) {
+	g := fig1Graph() // m = 8
+	p := 2
+	c := Capacity(g.NumEdges(), p) // ceil(8/2) = 4
+	if c != 4 {
+		t.Fatalf("capacity: got %d, want 4", c)
+	}
+	a := MustNew(g.NumEdges(), p)
+	for id := 0; id < g.NumEdges(); id++ {
+		k := 0
+		if id >= c {
+			k = 1
+		}
+		a.Assign(graph.EdgeID(id), k)
+	}
+	if err := Validate(g, a, ValidateOptions{}); err != nil {
+		t.Fatalf("load exactly C rejected: %v", err)
+	}
+	// Move one edge across: load becomes C+1 and must be rejected unless
+	// the capacity check is skipped.
+	a.Assign(graph.EdgeID(g.NumEdges()-1), 0)
+	if err := Validate(g, a, ValidateOptions{}); err == nil {
+		t.Fatal("load C+1 accepted")
+	}
+	if err := Validate(g, a, ValidateOptions{SkipCapacity: true}); err != nil {
+		t.Fatalf("SkipCapacity still enforced the bound: %v", err)
+	}
+}
+
+// TestValidateZeroEdgePartitions accepts partitions that received no edges
+// at all: an empty partition is structurally valid (just wasteful), with and
+// without the capacity check.
+func TestValidateZeroEdgePartitions(t *testing.T) {
+	g := fig1Graph()
+	a := MustNew(g.NumEdges(), 4)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), 0) // partitions 1..3 stay empty
+	}
+	// Everything in one partition violates C = ceil(8/4) = 2...
+	if err := Validate(g, a, ValidateOptions{}); err == nil {
+		t.Fatal("overfull partition accepted")
+	}
+	// ...but is complete, which is all SkipCapacity demands.
+	if err := Validate(g, a, ValidateOptions{SkipCapacity: true}); err != nil {
+		t.Fatalf("complete assignment with empty partitions rejected: %v", err)
+	}
+	for k := 1; k < 4; k++ {
+		if a.Load(k) != 0 {
+			t.Fatalf("partition %d unexpectedly has load %d", k, a.Load(k))
+		}
+	}
+}
+
+// TestValidateMorePartitionsThanEdges covers p > m: capacity rounds up to 1,
+// at least p-m partitions stay empty, and both validation modes accept a
+// spread-out assignment.
+func TestValidateMorePartitionsThanEdges(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	p := 7 // m = 3
+	if c := Capacity(g.NumEdges(), p); c != 1 {
+		t.Fatalf("capacity: got %d, want 1", c)
+	}
+	a := MustNew(g.NumEdges(), p)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), id)
+	}
+	if err := Validate(g, a, ValidateOptions{}); err != nil {
+		t.Fatalf("one-edge-per-partition rejected: %v", err)
+	}
+	if err := Validate(g, a, ValidateOptions{SkipCapacity: true}); err != nil {
+		t.Fatalf("SkipCapacity rejected: %v", err)
+	}
+	// Piling two edges into one partition breaks C=1 but not completeness.
+	a.Assign(graph.EdgeID(1), 0)
+	if err := Validate(g, a, ValidateOptions{}); err == nil {
+		t.Fatal("load 2 accepted with C=1")
+	}
+	if err := Validate(g, a, ValidateOptions{SkipCapacity: true}); err != nil {
+		t.Fatalf("SkipCapacity rejected: %v", err)
+	}
+}

@@ -150,7 +150,7 @@ func (st *windowState) pickSeed() (graph.Vertex, bool) {
 	// selection (and with it the whole run) is deterministic.
 	for v, d := range st.liveDeg {
 		if d > 0 && !st.isMember(v) {
-			st.seedStack = append(st.seedStack, v)
+			st.seedStack = append(st.seedStack, v) //lint:ignore GL001 stack sorted before use below
 		}
 	}
 	if len(st.seedStack) == 0 {
@@ -173,7 +173,7 @@ func (st *windowState) absorbMemberEdges(a *partition.Assignment, k, room int) i
 	members := make([]graph.Vertex, 0, len(st.adj))
 	for v := range st.adj {
 		if st.isMember(v) {
-			members = append(members, v)
+			members = append(members, v) //lint:ignore GL001 sorted on the next line
 		}
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })

@@ -229,7 +229,7 @@ func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, nu
 	for _, arcs := range st.adj {
 		for _, arc := range arcs {
 			if !arc.dead && !a.IsAssigned(arc.eid) {
-				leftover = append(leftover, arc.eid)
+				leftover = append(leftover, arc.eid) //lint:ignore GL001 swept in sorted EdgeID order below
 			}
 		}
 	}
