@@ -27,9 +27,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/graphpart/graphpart/internal/engine"
 	"github.com/graphpart/graphpart/internal/gen"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 )
@@ -56,6 +58,22 @@ type HarnessTiming struct {
 	Speedup           float64 `json:"speedup"`
 }
 
+// ObsSummary is the telemetry-derived phase breakdown of one traced
+// (dataset, p) probe: where TLP spends its time (Stage I vs Stage II
+// growth) and the superstep latency distribution of the GAS engine running
+// PageRank on the resulting partitioning. It complements the grid cells —
+// those say how long a run took, this says where the time went.
+type ObsSummary struct {
+	Dataset            string            `json:"dataset"`
+	P                  int               `json:"p"`
+	TLPStage1Seconds   float64           `json:"tlp_stage1_seconds"`
+	TLPStage2Seconds   float64           `json:"tlp_stage2_seconds"`
+	TLPStage1Share     float64           `json:"tlp_stage1_share"`
+	EngineSuperstepP50 float64           `json:"engine_superstep_p50_seconds"`
+	EngineSuperstepP95 float64           `json:"engine_superstep_p95_seconds"`
+	Spans              []obs.SpanSummary `json:"spans"`
+}
+
 // Snapshot is the JSON document benchsnap writes.
 type Snapshot struct {
 	GOOS        string        `json:"goos"`
@@ -68,6 +86,7 @@ type Snapshot struct {
 	GeneratedAt string        `json:"generated_at"`
 	Cells       []Cell        `json:"cells"`
 	Harness     HarnessTiming `json:"harness"`
+	Obs         *ObsSummary   `json:"obs,omitempty"`
 }
 
 func main() {
@@ -87,9 +106,14 @@ func run(args []string, logw io.Writer) error {
 		psFlag  = fs.String("ps", "", "comma-separated partition counts (default 10,15,20; 4,6,8 with -quick)")
 		workers = fs.Int("workers", 0, "worker count for the parallel harness timing (0 = GRAPHPART_WORKERS or GOMAXPROCS)")
 		skipFig = fs.Bool("skip-harness", false, "skip the fig8 sequential-vs-parallel harness timing")
+		obsOut  = fs.String("obs-out", "", "also write the telemetry phase summary to this JSON file (e.g. BENCH_obs.json)")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprof != "" {
+		startPprof(*pprof)
 	}
 
 	datasets := gen.Datasets()
@@ -200,16 +224,85 @@ func run(args []string, logw io.Writer) error {
 			seqSecs, parSecs, w, snap.Harness.Speedup)
 	}
 
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return err
+	// Telemetry probe last, so enabling spans cannot leak into the grid
+	// cells' timings above.
+	if len(datasets) > 0 && len(ps) > 0 {
+		d := datasets[0]
+		sum, err := collectObs(built[d.Notation], d.Notation, *seed, ps[0])
+		if err != nil {
+			return err
+		}
+		snap.Obs = sum
+		fmt.Fprintf(logw, "obs probe %s p=%d: stage1 %.1f%% of growth, superstep p95 %.4fs\n",
+			d.Notation, ps[0], 100*sum.TLPStage1Share, sum.EngineSuperstepP95)
+		if *obsOut != "" {
+			if err := writeJSON(*obsOut, sum); err != nil {
+				return err
+			}
+			fmt.Fprintf(logw, "wrote %s\n", *obsOut)
+		}
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+
+	if err := writeJSON(*out, snap); err != nil {
 		return err
 	}
 	fmt.Fprintf(logw, "wrote %s (%d cells)\n", *out, len(snap.Cells))
 	return nil
+}
+
+// collectObs traces one TLP partitioning of g plus a bounded PageRank run on
+// the share-nothing engine, and distils the phase-level summary: TLP
+// stage-1/stage-2 time share and engine superstep percentiles.
+func collectObs(g *graph.Graph, dataset string, seed uint64, p int) (*ObsSummary, error) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.ResetTrace()
+		obs.Default.Reset()
+	}()
+	obs.ResetTrace()
+	obs.Default.Reset()
+
+	a, err := harness.Algorithms(seed)[0].Partition(g, p) // roster slot 0 is TLP
+	if err != nil {
+		return nil, fmt.Errorf("obs probe: TLP on %s p=%d: %w", dataset, p, err)
+	}
+	e, err := engine.New(g, a)
+	if err != nil {
+		return nil, fmt.Errorf("obs probe: engine on %s: %w", dataset, err)
+	}
+	if _, _, err := e.Run(engine.NewPageRank(g.NumVertices(), 0.85, 1e-9), 8); err != nil {
+		return nil, fmt.Errorf("obs probe: pagerank on %s: %w", dataset, err)
+	}
+
+	recs, _ := obs.TraceRecords()
+	sums := obs.SummarizeSpans(recs)
+	out := &ObsSummary{Dataset: dataset, P: p, Spans: sums}
+	for _, s := range sums {
+		switch s.Name {
+		case "tlp.stage1":
+			out.TLPStage1Seconds = s.TotalSeconds
+		case "tlp.stage2":
+			out.TLPStage2Seconds = s.TotalSeconds
+		case "engine.superstep":
+			out.EngineSuperstepP50 = s.P50Seconds
+			out.EngineSuperstepP95 = s.P95Seconds
+		}
+	}
+	if growth := out.TLPStage1Seconds + out.TLPStage2Seconds; growth > 0 {
+		out.TLPStage1Share = out.TLPStage1Seconds / growth
+	}
+	return out, nil
+}
+
+// writeJSON marshals v indented to path with a trailing newline.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
 }
 
 // harnessGraphs generates every dataset once up front (sequentially, so

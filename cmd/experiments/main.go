@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/obs"
 )
 
 func main() {
@@ -39,14 +42,21 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|engine|all")
-		seed    = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
-		csv     = flag.String("csv", "", "directory for CSV output (optional)")
-		quick   = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
-		only    = flag.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
-		workers = flag.Int("workers", 0, "concurrent grid cells; 0 = GRAPHPART_WORKERS env, then GOMAXPROCS (output is identical for any value)")
+		exp      = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|engine|all")
+		seed     = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
+		csv      = flag.String("csv", "", "directory for CSV output (optional)")
+		quick    = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
+		only     = flag.String("datasets", "", "comma-separated dataset notations to restrict to (e.g. G1,G2)")
+		workers  = flag.Int("workers", 0, "concurrent grid cells; 0 = GRAPHPART_WORKERS env, then GOMAXPROCS (output is identical for any value)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the run (load at chrome://tracing)")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 	)
 	flag.Parse()
+
+	telemetry := *traceOut != "" || *metrics != ""
+	if telemetry {
+		obs.Enable()
+	}
 
 	cfg := harness.Config{Seed: *seed, CSVDir: *csv, Out: os.Stdout, Workers: *workers}
 	if *quick {
@@ -76,13 +86,25 @@ func run() error {
 		cfg.Datasets = keep
 	}
 
-	start := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
-	fmt.Printf("generating datasets (seed %d)...\n", *seed)
-	graphs, err := harness.RunTable3(cfg)
-	if err != nil {
+	// timed wraps one experiment in a trace span so -trace output groups the
+	// run by experiment; the span is inert unless telemetry is on.
+	timed := func(name string, fn func() error) error {
+		sp := obs.Start("experiment." + name)
+		err := fn()
+		sp.End()
 		return err
 	}
-	fmt.Printf("generated in %v\n", time.Since(start).Round(time.Millisecond))
+
+	watch := obs.StartWatch()
+	fmt.Printf("generating datasets (seed %d)...\n", *seed)
+	var graphs map[string]*graph.Graph
+	if err := timed("table3", func() (err error) {
+		graphs, err = harness.RunTable3(cfg)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("generated in %v\n", watch.Elapsed().Round(time.Millisecond))
 
 	wantFig8 := *exp == "fig8" || *exp == "table4" || *exp == "all"
 	switch *exp {
@@ -95,12 +117,17 @@ func run() error {
 	}
 
 	if wantFig8 {
-		results, err := harness.RunFig8(cfg, graphs)
-		if err != nil {
+		var results []harness.Result
+		if err := timed("fig8", func() (err error) {
+			results, err = harness.RunFig8(cfg, graphs)
+			return err
+		}); err != nil {
 			return err
 		}
 		if *exp == "table4" || *exp == "all" {
-			if err := harness.RunTable4(cfg, results); err != nil {
+			if err := timed("table4", func() error {
+				return harness.RunTable4(cfg, results)
+			}); err != nil {
 				return err
 			}
 		}
@@ -110,7 +137,10 @@ func run() error {
 		figPs = map[string]int{"fig9": 4, "fig10": 6, "fig11": 8}
 	}
 	if p, ok := figPs[*exp]; ok {
-		if _, err := harness.RunFigR(cfg, graphs, p); err != nil {
+		if err := timed(*exp, func() error {
+			_, err := harness.RunFigR(cfg, graphs, p)
+			return err
+		}); err != nil {
 			return err
 		}
 	}
@@ -120,52 +150,112 @@ func run() error {
 			ps = []int{10, 15, 20}
 		}
 		for _, p := range ps {
-			if _, err := harness.RunFigR(cfg, graphs, p); err != nil {
+			if err := timed("figR", func() error {
+				_, err := harness.RunFigR(cfg, graphs, p)
+				return err
+			}); err != nil {
 				return err
 			}
 		}
 	}
 	if *exp == "table6" || *exp == "all" {
-		if err := harness.RunTable6(cfg, graphs); err != nil {
+		if err := timed("table6", func() error {
+			return harness.RunTable6(cfg, graphs)
+		}); err != nil {
 			return err
 		}
 	}
+	tp := 10
+	if *quick {
+		tp = 4
+	}
 	if *exp == "timing" || *exp == "all" {
-		tp := 10
-		if *quick {
-			tp = 4
-		}
-		if err := harness.RunTiming(cfg, graphs, tp); err != nil {
+		if err := timed("timing", func() error {
+			return harness.RunTiming(cfg, graphs, tp)
+		}); err != nil {
 			return err
 		}
 	}
 	if *exp == "ablation" || *exp == "all" {
-		tp := 10
-		if *quick {
-			tp = 4
-		}
-		if err := harness.RunAblation(cfg, graphs, tp); err != nil {
+		if err := timed("ablation", func() error {
+			return harness.RunAblation(cfg, graphs, tp)
+		}); err != nil {
 			return err
 		}
 	}
 	if *exp == "window" || *exp == "all" {
-		tp := 10
-		if *quick {
-			tp = 4
-		}
-		if err := harness.RunWindowAblation(cfg, graphs, tp); err != nil {
+		if err := timed("window", func() error {
+			return harness.RunWindowAblation(cfg, graphs, tp)
+		}); err != nil {
 			return err
 		}
 	}
 	if *exp == "engine" || *exp == "all" {
-		tp := 10
-		if *quick {
-			tp = 4
-		}
-		if err := harness.RunEngineComparison(cfg, graphs, tp); err != nil {
+		if err := timed("engine", func() error {
+			return harness.RunEngineComparison(cfg, graphs, tp)
+		}); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\ntotal time: %v\n", watch.Elapsed().Round(time.Millisecond))
+	if telemetry {
+		printSpanSummary(os.Stdout)
+		if err := writeTelemetry(*traceOut, *metrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSpanSummary renders the per-experiment (and hottest inner) span
+// totals the trace recorded.
+func printSpanSummary(out *os.File) {
+	recs, dropped := obs.TraceRecords()
+	sums := obs.SummarizeSpans(recs)
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "\nTELEMETRY: span totals (hottest first)")
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "span\tcount\ttotal_s\tp50_s\tp95_s")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.4f\t%.4f\n",
+			s.Name, s.Count, s.TotalSeconds, s.P50Seconds, s.P95Seconds)
+	}
+	_ = tw.Flush()
+	if dropped > 0 {
+		fmt.Fprintf(out, "(trace ring dropped %d oldest records; raise capacity via obs.SetTraceCapacity)\n", dropped)
+	}
+}
+
+// writeTelemetry exports the recorded trace and metrics to the requested
+// files; empty paths are skipped.
+func writeTelemetry(tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/window"
 )
@@ -30,7 +31,7 @@ func run(w io.Writer, notations []string, p int, seed uint64) error {
 			return err
 		}
 		g := d.Generate(seed)
-		t0 := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
+		watch := obs.StartWatch()
 		a, err := window.New(window.Config{Seed: seed}).Partition(g, p)
 		if err != nil {
 			return err
@@ -39,7 +40,7 @@ func run(w io.Writer, notations []string, p int, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s TLP-SW: %v RF=%.3f\n", nt, time.Since(t0).Round(time.Millisecond), rf)
+		fmt.Fprintf(w, "%s TLP-SW: %v RF=%.3f\n", nt, watch.Elapsed().Round(time.Millisecond), rf)
 	}
 	return nil
 }

@@ -49,78 +49,101 @@ func main() {
 
 func run() error {
 	var (
-		input   = flag.String("input", "", "edge-list file (SNAP format; .gz ok)")
-		dataset = flag.String("dataset", "", "built-in dataset notation (G1..G9)")
-		algo    = flag.String("algo", "tlp", "algorithm: tlp|tlpr|metis|ldg|fennel|dbh|random|greedy|hdrf")
-		p       = flag.Int("p", 10, "number of partitions")
-		r       = flag.Float64("r", 0.5, "stage ratio for -algo tlpr")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		stats   = flag.Bool("stats", false, "print TLP stage statistics (tlp/tlpr only)")
-		doRef   = flag.Bool("refine", false, "run the replica-consolidation refinement pass after partitioning")
-		report  = flag.String("report", "", "write a detailed per-partition report: 'text' or 'json'")
-		stream  = flag.Bool("stream", false, "out-of-core mode: partition from an EdgeSource without building a CSR (streaming algorithms and tlpsw only)")
-		winSize = flag.Int("window", 0, "with -stream -algo tlpsw: bound on resident unassigned edges (0 = default)")
-		dense   = flag.Bool("dense", false, "with -stream -input: intern sparse vertex ids instead of assuming 0..maxID")
-		runProg = flag.String("run", "", "execute a vertex program on the partitioning: 'pagerank' or 'cc'")
-		maxSS   = flag.Int("supersteps", 20, "with -run: superstep bound for the vertex program")
+		input    = flag.String("input", "", "edge-list file (SNAP format; .gz ok)")
+		dataset  = flag.String("dataset", "", "built-in dataset notation (G1..G9)")
+		algo     = flag.String("algo", "tlp", "algorithm: tlp|tlpr|metis|ldg|fennel|dbh|random|greedy|hdrf")
+		p        = flag.Int("p", 10, "number of partitions")
+		r        = flag.Float64("r", 0.5, "stage ratio for -algo tlpr")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		stats    = flag.Bool("stats", false, "print TLP stage statistics (tlp/tlpr only)")
+		doRef    = flag.Bool("refine", false, "run the replica-consolidation refinement pass after partitioning")
+		report   = flag.String("report", "", "write a detailed per-partition report: 'text' or 'json'")
+		stream   = flag.Bool("stream", false, "out-of-core mode: partition from an EdgeSource without building a CSR (streaming algorithms and tlpsw only)")
+		winSize  = flag.Int("window", 0, "with -stream -algo tlpsw: bound on resident unassigned edges (0 = default)")
+		dense    = flag.Bool("dense", false, "with -stream -input: intern sparse vertex ids instead of assuming 0..maxID")
+		runProg  = flag.String("run", "", "execute a vertex program on the partitioning: 'pagerank' or 'cc'")
+		maxSS    = flag.Int("supersteps", 20, "with -run: superstep bound for the vertex program")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the run (load at chrome://tracing)")
+		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the run")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
-	if *stream {
-		if *runProg != "" {
+	if *pprof != "" {
+		startPprof(*pprof)
+	}
+	// -trace / -metrics opt into telemetry for the run; the exports are
+	// written after the run body completes, whatever path it took.
+	if *traceOut != "" || *metrics != "" {
+		graphpart.EnableTelemetry()
+	}
+	if err := runBody(*input, *dataset, *algo, *p, *r, *seed,
+		*stats, *doRef, *report, *stream, *winSize, *dense, *runProg, *maxSS); err != nil {
+		return err
+	}
+	return writeTelemetry(*traceOut, *metrics)
+}
+
+// runBody is the CLI body behind the flags: load, partition, report,
+// optionally hand off to the engine or the streaming path.
+func runBody(input, dataset, algo string, p int, r float64, seed uint64,
+	stats, doRef bool, report string, stream bool, winSize int, dense bool,
+	runProg string, maxSS int) error {
+	if stream {
+		if runProg != "" {
 			return fmt.Errorf("-run needs a materialised graph and cannot be combined with -stream")
 		}
-		return runStream(os.Stdout, *input, *dataset, strings.ToLower(*algo), *p, *seed, *winSize, *dense)
+		return runStream(os.Stdout, input, dataset, strings.ToLower(algo), p, seed, winSize, dense)
 	}
 
-	g, err := loadGraph(*input, *dataset, *seed)
+	g, err := loadGraph(input, dataset, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %s\n", graphpart.ComputeGraphStats(g))
 
-	start := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
+	watch := graphpart.StartWatch()
 	var a *graphpart.Assignment
 	var tlpStats *graphpart.TLPStats
-	switch strings.ToLower(*algo) {
+	switch strings.ToLower(algo) {
 	case "tlpr":
-		pt, err := graphpart.NewTLPR(*r, graphpart.TLPOptions{Seed: *seed})
+		pt, err := graphpart.NewTLPR(r, graphpart.TLPOptions{Seed: seed})
 		if err != nil {
 			return err
 		}
 		var st graphpart.TLPStats
-		a, st, err = pt.PartitionStats(g, *p)
+		a, st, err = pt.PartitionStats(g, p)
 		if err != nil {
 			return err
 		}
 		tlpStats = &st
 	case "tlp":
-		pt := graphpart.NewTLP(graphpart.TLPOptions{Seed: *seed})
+		pt := graphpart.NewTLP(graphpart.TLPOptions{Seed: seed})
 		var st graphpart.TLPStats
-		a, st, err = pt.PartitionStats(g, *p)
+		a, st, err = pt.PartitionStats(g, p)
 		if err != nil {
 			return err
 		}
 		tlpStats = &st
 	default:
-		all := graphpart.AllPartitioners(*seed)
-		pt, ok := all[strings.ToLower(*algo)]
+		all := graphpart.AllPartitioners(seed)
+		pt, ok := all[strings.ToLower(algo)]
 		if !ok {
 			names := make([]string, 0, len(all))
 			for n := range all {
 				names = append(names, n) //lint:ignore GL001 sorted on the next line
 			}
 			sort.Strings(names)
-			return fmt.Errorf("unknown algorithm %q (have: %s, tlpr)", *algo, strings.Join(names, ", "))
+			return fmt.Errorf("unknown algorithm %q (have: %s, tlpr)", algo, strings.Join(names, ", "))
 		}
-		a, err = pt.Partition(g, *p)
+		a, err = pt.Partition(g, p)
 		if err != nil {
 			return err
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := watch.Elapsed()
 
-	if *doRef {
+	if doRef {
 		rs, err := graphpart.Refine(g, a, graphpart.RefineOptions{})
 		if err != nil {
 			return err
@@ -133,10 +156,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("algorithm: %s  p=%d  time=%v\n", *algo, *p, elapsed.Round(time.Millisecond))
+	fmt.Printf("algorithm: %s  p=%d  time=%v\n", algo, p, elapsed.Round(time.Millisecond))
 	fmt.Printf("replication factor: %.4f\n", m.ReplicationFactor)
 	fmt.Printf("balance: %.4f (loads %d..%d, capacity %d)\n",
-		m.Balance, m.MinLoad, m.MaxLoad, graphpart.Capacity(g.NumEdges(), *p))
+		m.Balance, m.MinLoad, m.MaxLoad, graphpart.Capacity(g.NumEdges(), p))
 	fmt.Printf("spanned vertices: %d of %d\n", m.SpannedVertices, g.NumVertices())
 	finite, inf := 0, 0
 	minMod, maxMod := math.Inf(1), math.Inf(-1)
@@ -156,14 +179,14 @@ func run() error {
 	if finite > 0 {
 		fmt.Printf("partition modularity: min %.3f, max %.3f (%d isolated partitions)\n", minMod, maxMod, inf)
 	}
-	switch *report {
+	switch report {
 	case "":
 	case "text", "json":
 		rep, err := graphpart.BuildReport(g, a)
 		if err != nil {
 			return err
 		}
-		if *report == "json" {
+		if report == "json" {
 			if err := rep.WriteJSON(os.Stdout); err != nil {
 				return err
 			}
@@ -171,9 +194,9 @@ func run() error {
 			return err
 		}
 	default:
-		return fmt.Errorf("unknown report format %q (text or json)", *report)
+		return fmt.Errorf("unknown report format %q (text or json)", report)
 	}
-	if *stats && tlpStats != nil {
+	if stats && tlpStats != nil {
 		fmt.Printf("stage I selections: %d (avg degree %.2f)\n",
 			tlpStats.Stage1Selections, tlpStats.AvgDegreeStage1())
 		fmt.Printf("stage II selections: %d (avg degree %.2f)\n",
@@ -181,8 +204,34 @@ func run() error {
 		fmt.Printf("reseeds: %d  partial absorptions: %d  swept edges: %d\n",
 			tlpStats.Reseeds, tlpStats.PartialAbsorptions, tlpStats.SweptEdges)
 	}
-	if *runProg != "" {
-		return runEngine(os.Stdout, g, a, strings.ToLower(*runProg), *maxSS)
+	if runProg != "" {
+		return runEngine(os.Stdout, g, a, strings.ToLower(runProg), maxSS)
+	}
+	return nil
+}
+
+// writeTelemetry exports the recorded trace and metrics to the requested
+// files; empty paths are skipped.
+func writeTelemetry(tracePath, metricsPath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, graphpart.WriteChromeTrace); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := write(metricsPath, graphpart.WriteMetricsJSON); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
 	}
 	return nil
 }
@@ -204,12 +253,12 @@ func runEngine(out io.Writer, g *graphpart.Graph, a *graphpart.Assignment, prog 
 	if err != nil {
 		return err
 	}
-	start := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
+	watch := graphpart.StartWatch()
 	values, st, err := e.Run(pr, maxSupersteps)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	elapsed := watch.Elapsed()
 	fmt.Fprintf(out, "\nengine: %s on %d machines  rf=%.4f  time=%v\n",
 		pr.Name(), a.P(), e.ReplicationFactor(), elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "supersteps: %d (bound %d)\n", st.Supersteps, maxSupersteps)
@@ -268,7 +317,7 @@ func runStream(out io.Writer, input, dataset, algo string, p int, seed uint64, w
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 
-	start := time.Now() //lint:ignore GL002 CLI-reported elapsed time; never fed back into the run
+	watch := graphpart.StartWatch()
 	var a *graphpart.Assignment
 	var wstats *graphpart.WindowStats
 	if algo == "tlpsw" {
@@ -294,7 +343,7 @@ func runStream(out io.Writer, input, dataset, algo string, p int, seed uint64, w
 			return err
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := watch.Elapsed()
 
 	runtime.GC()
 	runtime.ReadMemStats(&after)

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+)
+
+// startPprof serves the net/http/pprof endpoints on addr from a background
+// goroutine; profiling is opt-in via -pprof and never blocks the run.
+func startPprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "tlp: pprof server:", err)
+		}
+	}()
+}

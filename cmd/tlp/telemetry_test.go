@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/obs"
+)
+
+// TestWriteTelemetry exercises the -trace / -metrics path end to end: run a
+// traced partitioning, export both files, and check the trace validates as
+// Chrome trace-event JSON and the metrics snapshot parses and carries the
+// run's counters.
+func TestWriteTelemetry(t *testing.T) {
+	graphpart.EnableTelemetry()
+	t.Cleanup(func() {
+		graphpart.DisableTelemetry()
+		graphpart.ResetTelemetry()
+	})
+	graphpart.ResetTelemetry()
+
+	var out bytes.Buffer
+	if err := runStream(&out, "", "G1", "tlpsw", 4, 7, 0, false); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	if err := writeTelemetry(tracePath, metricsPath); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace validated but holds no events")
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshot map[string]any
+	if err := json.Unmarshal(raw, &snapshot); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	if !strings.Contains(string(raw), "tlpsw.runs") {
+		t.Fatalf("metrics snapshot missing the tlpsw.runs counter:\n%s", raw)
+	}
+
+	// Empty paths are a no-op, not an error.
+	if err := writeTelemetry("", ""); err != nil {
+		t.Fatal(err)
+	}
+}

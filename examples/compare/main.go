@@ -43,12 +43,12 @@ func main() {
 	var rows []row
 	for _, name := range names {
 		pt := all[name]
-		start := time.Now() //lint:ignore GL002 example prints elapsed time; never fed back into the run
+		watch := graphpart.StartWatch()
 		a, err := pt.Partition(g, p)
 		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(start)
+		elapsed := watch.Elapsed()
 		m, err := graphpart.ComputeMetrics(g, a)
 		if err != nil {
 			log.Fatal(err)

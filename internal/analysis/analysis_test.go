@@ -126,6 +126,11 @@ func TestCorpus(t *testing.T) {
 		{name: "gl005ok", dir: "gl005ok", asPath: "<mod>"},
 		{name: "gl006bad", dir: "gl006bad", asPath: "<mod>/internal/gl006bad"},
 		{name: "gl006ok", dir: "gl006ok", asPath: "<mod>/internal/gl006ok"},
+		{name: "gl007bad", dir: "gl007bad", asPath: "<mod>/internal/gl007bad"},
+		// GL007 exempts only the clock seam and the snapshot tool; the same
+		// wall-clock reads are clean under both of those paths.
+		{name: "gl007ok-obs", dir: "gl007ok", asPath: "<mod>/internal/obs"},
+		{name: "gl007ok-benchsnap", dir: "gl007ok", asPath: "<mod>/cmd/benchsnap"},
 		{name: "suppress", dir: "suppress", asPath: "<mod>/internal/suppress",
 			suppressed: map[string]int{"GL001": 1}},
 	}

@@ -106,23 +106,27 @@ func baseIdent(expr ast.Expr) *ast.Ident {
 // Every random decision in the repository must flow through internal/rng's
 // seeded SplitMix64/xoshiro generator so that runs are reproducible across
 // machines and Go versions, and wall-clock time must never influence an
-// algorithm. Only internal/rng itself and cmd/benchsnap (which timestamps
-// benchmark snapshots) are exempt. Timing *measurement* sites (harness,
-// CLIs) are legitimate and carry //lint:ignore GL002 with a reason.
+// algorithm. Only internal/rng may import math/rand (it wraps the seeded
+// generator), and only internal/obs (the sanctioned clock seam) and
+// cmd/benchsnap (which timestamps benchmark snapshots) may call time.Now.
+// Elapsed-time measurement everywhere else goes through obs.StartWatch,
+// which respects the injectable obs.Clock.
 // ---------------------------------------------------------------------------
 
 func checkGL002(pkg *Package, r *reporter) {
-	if pkg.isAt("internal/rng") || pkg.isAt("cmd/benchsnap") {
-		return
-	}
-	for _, f := range pkg.Files {
-		for _, imp := range f.Imports {
-			p := strings.Trim(imp.Path.Value, `"`)
-			if p == "math/rand" || p == "math/rand/v2" {
-				r.report(imp.Pos(), "GL002",
-					"import of %s outside internal/rng: all randomness must flow through the seeded internal/rng generator", p)
+	if !pkg.isAt("internal/rng") {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "math/rand" || p == "math/rand/v2" {
+					r.report(imp.Pos(), "GL002",
+						"import of %s outside internal/rng: all randomness must flow through the seeded internal/rng generator", p)
+				}
 			}
 		}
+	}
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
+		return
 	}
 	inspectFiles(pkg, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
@@ -132,7 +136,7 @@ func checkGL002(pkg *Package, r *reporter) {
 		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
 			r.report(sel.Pos(), "GL002",
-				"time.Now outside internal/rng and cmd/benchsnap: wall-clock must not influence results (timing measurement sites need a //lint:ignore reason)")
+				"time.Now outside internal/obs and cmd/benchsnap: wall-clock must not influence results; measure elapsed time with obs.StartWatch")
 		}
 		return true
 	})
@@ -359,6 +363,39 @@ func badValueType(t types.Type) string {
 		return "partition.Assignment"
 	}
 	return ""
+}
+
+// ---------------------------------------------------------------------------
+// GL007 — wall-clock reads outside the telemetry clock seam.
+//
+// internal/obs is the single sanctioned clock site: its Clock seam makes
+// every timing path injectable (deterministic tests swap in a step clock),
+// and its Stopwatch is the one elapsed-time primitive. Direct calls to
+// time.Now / time.Since / time.Until anywhere else — library code, mains,
+// examples — bypass the seam and fragment timing behaviour. cmd/benchsnap
+// is exempt for its snapshot timestamp (the one legitimate "what time is
+// it" read in the module). GL002 separately flags time.Now as a
+// nondeterminism source; GL007 covers the derived helpers and enforces the
+// seam itself.
+// ---------------------------------------------------------------------------
+
+func checkGL007(pkg *Package, r *reporter) {
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
+		return
+	}
+	wallClock := map[string]bool{"Now": true, "Since": true, "Until": true}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClock[fn.Name()] {
+			r.report(sel.Pos(), "GL007",
+				"time.%s outside internal/obs: route timing through the obs clock seam (obs.StartWatch / obs.Now)", fn.Name())
+		}
+		return true
+	})
 }
 
 // isAt reports whether the package lives at the module-relative path rel.

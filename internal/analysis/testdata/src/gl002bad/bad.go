@@ -1,5 +1,6 @@
 // Package gl002bad holds GL002 violations: unseeded randomness and
-// wall-clock reads outside the exempt packages.
+// wall-clock reads outside the exempt packages. The time.Now read is also a
+// GL007 clock-seam bypass.
 package gl002bad
 
 import (
@@ -9,5 +10,5 @@ import (
 
 // Jitter mixes wall-clock state into a computation.
 func Jitter() int64 {
-	return time.Now().UnixNano() + int64(rand.Intn(10)) // want GL002
+	return time.Now().UnixNano() + int64(rand.Intn(10)) // want GL002 GL007
 }

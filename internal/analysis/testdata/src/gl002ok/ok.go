@@ -1,13 +1,10 @@
-// Package gl002ok is checked under the internal/rng import path, where
-// math/rand and time.Now are exempt (the seeded generator wraps them).
+// Package gl002ok is checked under the internal/rng import path, where the
+// math/rand import is exempt (the seeded generator wraps it).
 package gl002ok
 
-import (
-	"math/rand"
-	"time"
-)
+import "math/rand"
 
 // Sample draws from the exempt package's generator.
 func Sample(r *rand.Rand) int {
-	return r.Intn(int(time.Now().Unix()%7) + 1)
+	return r.Intn(7) + 1
 }

@@ -1,0 +1,17 @@
+// Package gl007bad holds GL007 violations: wall-clock helpers called
+// outside the internal/obs clock seam. time.Since / time.Until bypass the
+// injectable Clock without being flagged by GL002 (they are not time.Now),
+// which is exactly the gap GL007 closes.
+package gl007bad
+
+import "time"
+
+// Elapsed measures directly against the system clock.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want GL007
+}
+
+// Remaining counts down against the system clock.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want GL007
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/invariants"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/partition"
 )
 
@@ -127,19 +128,24 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 	if capC < 1 {
 		capC = 1
 	}
+	sp := obs.Start("tlp.partition",
+		obs.Int("p", p), obs.Int("edges", m), obs.Int("capacity", capC))
 	st := newRunState(g, a, opts)
 	assigned := 0
 	for k := 0; k < p && assigned < m; k++ {
 		stats.Rounds++
 		st.beginRound()
+		rt := beginRoundTrace(&sp, k)
 		seed, ok := st.pickSeed()
 		if !ok {
+			rt.end(st)
 			break
 		}
 		n, full := st.absorb(seed, k, capC)
 		assigned += n
 		if !full {
 			stats.PartialAbsorptions++
+			rt.end(st)
 			continue
 		}
 		// clean tracks whether the round's last absorption completed; the
@@ -169,6 +175,7 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 			var v graph.Vertex
 			var okSel bool
 			stage1 := isStage1(st.ein, st.eout, capC)
+			rt.stage(st, stage1)
 			if stage1 {
 				v, okSel = st.selectStage1()
 			} else {
@@ -218,12 +225,21 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 		if clean {
 			st.assertRoundInvariants()
 		}
+		rt.end(st)
 	}
 	// Balance sweep: any leftover edges (LiteralBreak mode, or capacity
 	// rounding) go to the least-loaded partitions.
 	if assigned < m {
+		ssp := sp.Child("tlp.sweep", obs.Int("leftover", m-assigned))
 		sweepLeftovers(g, a, &stats)
+		ssp.EndWith(obs.Int("swept", stats.SweptEdges))
 	}
+	recordRunMetrics(&stats)
+	sp.EndWith(obs.Int("rounds", stats.Rounds),
+		obs.Int("stage1_selections", stats.Stage1Selections),
+		obs.Int("stage2_selections", stats.Stage2Selections),
+		obs.Int("reseeds", stats.Reseeds),
+		obs.Int("swept", stats.SweptEdges))
 	return a, stats, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/partition"
 )
 
@@ -314,10 +315,14 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 			close(c)
 		}
 	}()
+	rsp := obs.Start("engine.run", obs.String("program", prog.Name()),
+		obs.Int("p", e.p), obs.Int("replicas", e.stats.TotalReplicas))
 	var prev Totals
 	for step := 0; step < maxSupersteps && activeMasters > 0; step++ {
 		stats.Supersteps++
+		ssp := rsp.Child("engine.superstep", obs.Int("step", step))
 		for ph := 0; ph < numPhases; ph++ {
+			psp := ssp.Child(phaseSpanNames[ph])
 			for _, c := range cmds {
 				c <- ph
 			}
@@ -325,6 +330,7 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 				<-done
 			}
 			tr.Flip()
+			psp.End()
 		}
 		activeMasters = 0
 		for _, m := range e.machines {
@@ -335,6 +341,11 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 		stats.PerStep = append(stats.PerStep, delta)
 		assertStepBalanced(e.machines, step, delta)
 		prev = tot
+		ssp.EndWith(obs.Int64("gather_messages", delta.GatherMessages),
+			obs.Int64("apply_messages", delta.ApplyMessages),
+			obs.Int64("activate_messages", delta.ActivateMessages),
+			obs.Int64("bytes", delta.Bytes()),
+			obs.Int("active_masters", activeMasters))
 	}
 	stats.GatherMessages = prev.GatherMessages
 	stats.ApplyMessages = prev.ApplyMessages
@@ -344,6 +355,10 @@ func (e *Engine) RunWith(prog Program, maxSupersteps int, tr Transport) ([]float
 	stats.ActivateBytes = prev.ActivateBytes
 	stats.Links = tr.Traffic()
 	assertTrafficConsistent(stats)
+	recordRunMetrics(&stats)
+	rsp.EndWith(obs.Int("supersteps", stats.Supersteps),
+		obs.Int64("messages", stats.Messages()),
+		obs.Int64("bytes", stats.Bytes()))
 	// Assemble the result from master replicas; isolated vertices keep
 	// their initial value.
 	n := e.g.NumVertices()

@@ -1,0 +1,29 @@
+package engine
+
+import "github.com/graphpart/graphpart/internal/obs"
+
+// phaseSpanNames maps superstep phases to their trace span names.
+var phaseSpanNames = [numPhases]string{
+	phaseGather:   "engine.gather",
+	phaseApply:    "engine.apply",
+	phaseScatter:  "engine.scatter",
+	phaseActivate: "engine.activate",
+	phaseFinalize: "engine.finalize",
+}
+
+// Cumulative runtime counters, fed from each run's final totals.
+var (
+	mEngineRuns       = obs.Default.Counter("engine.runs")
+	mEngineSupersteps = obs.Default.Counter("engine.supersteps")
+	mEngineMessages   = obs.Default.Counter("engine.messages")
+	mEngineBytes      = obs.Default.Counter("engine.bytes")
+)
+
+// recordRunMetrics publishes a finished run's stats to the metrics
+// registry.
+func recordRunMetrics(stats *Stats) {
+	mEngineRuns.Add(1)
+	mEngineSupersteps.Add(int64(stats.Supersteps))
+	mEngineMessages.Add(stats.Messages())
+	mEngineBytes.Add(stats.Bytes())
+}

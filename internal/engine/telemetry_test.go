@@ -1,0 +1,76 @@
+package engine_test
+
+import (
+	"testing"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/obs"
+)
+
+// TestTelemetryPreservesOracle re-runs the bit-identical oracle with span
+// recording enabled: tracing an engine run must not change a single output
+// bit or the superstep count, and the expected span shapes must appear.
+func TestTelemetryPreservesOracle(t *testing.T) {
+	g := oracleGraph(7, 400, 1600)
+	a, err := graphpart.AllPartitioners(42)["tlp"].Partition(g, 8)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+
+	pr := func() engine.Program { return engine.NewPageRank(g.NumVertices(), 0.85, 1e-8) }
+	want, wantSteps, err := engine.RunSequential(g, pr(), 30)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+
+	e, err := engine.New(g, a)
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	off, offStats, err := e.Run(pr(), 30)
+	if err != nil {
+		t.Fatalf("Run (telemetry off): %v", err)
+	}
+
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.ResetTrace()
+		obs.Default.Reset()
+	})
+	obs.ResetTrace()
+	on, onStats, err := e.Run(pr(), 30)
+	if err != nil {
+		t.Fatalf("Run (telemetry on): %v", err)
+	}
+
+	if offStats.Supersteps != wantSteps || onStats.Supersteps != wantSteps {
+		t.Fatalf("supersteps: off=%d on=%d sequential=%d", offStats.Supersteps, onStats.Supersteps, wantSteps)
+	}
+	for v := range want {
+		if off[v] != want[v] {
+			t.Fatalf("vertex %d (telemetry off): %v != sequential %v", v, off[v], want[v])
+		}
+		if on[v] != off[v] {
+			t.Fatalf("vertex %d: traced run %v != untraced run %v (not bit-identical)", v, on[v], off[v])
+		}
+	}
+
+	recs, _ := obs.TraceRecords()
+	counts := map[string]int{}
+	for _, rec := range recs {
+		counts[rec.Name]++
+	}
+	if counts["engine.run"] != 1 {
+		t.Fatalf("engine.run spans = %d, want 1 (names: %v)", counts["engine.run"], counts)
+	}
+	if counts["engine.superstep"] != wantSteps {
+		t.Fatalf("engine.superstep spans = %d, want %d", counts["engine.superstep"], wantSteps)
+	}
+	for _, phase := range []string{"engine.gather", "engine.apply", "engine.scatter", "engine.activate", "engine.finalize"} {
+		if counts[phase] != wantSteps {
+			t.Fatalf("%s spans = %d, want one per superstep (%d)", phase, counts[phase], wantSteps)
+		}
+	}
+}

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"strconv"
 	"text/tabwriter"
-	"time"
 
 	"github.com/graphpart/graphpart/internal/core"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/refine"
@@ -92,7 +92,7 @@ func RunAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
 		d := cfg.Datasets[i/len(roster)]
 		r := roster[i%len(roster)]
 		g := graphs[d.Notation]
-		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
+		watch := obs.StartWatch()
 		a, err := r.run(g, p, cfg.Seed)
 		if errors.Is(err, errSkipped) {
 			return ablationCell{skipped: true}, nil
@@ -104,7 +104,7 @@ func RunAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
 		if err != nil {
 			return ablationCell{}, fmt.Errorf("harness: ablation metrics %s on %s: %w", r.name, d.Notation, err)
 		}
-		return ablationCell{rf: rf, seconds: time.Since(start).Seconds()}, nil
+		return ablationCell{rf: rf, seconds: watch.Seconds()}, nil
 	})
 	if err != nil {
 		return err

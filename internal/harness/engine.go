@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"strconv"
 	"text/tabwriter"
-	"time"
 
 	"github.com/graphpart/graphpart/internal/core"
 	"github.com/graphpart/graphpart/internal/engine"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/streaming"
@@ -112,18 +112,18 @@ func RunEngineComparison(cfg Config, graphs map[string]*graph.Graph, p int) erro
 			}
 			return out, nil
 		}
-		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
+		watch := obs.StartWatch()
 		a, err := r.make(cfg.Seed).Partition(g, p)
 		if err != nil {
 			return nil, fmt.Errorf("harness: engine comparison %s on %s: %w", r.name, d.Notation, err)
 		}
-		partSeconds := time.Since(start).Seconds()
+		partSeconds := watch.Seconds()
 		e, err := engine.New(g, a)
 		if err != nil {
 			return nil, fmt.Errorf("harness: engine build %s on %s: %w", r.name, d.Notation, err)
 		}
 		for pi, pr := range programs {
-			start = time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
+			watch = obs.StartWatch()
 			_, stats, err := e.Run(pr.make(g), pr.max)
 			if err != nil {
 				return nil, fmt.Errorf("harness: engine run %s/%s on %s: %w", r.name, pr.name, d.Notation, err)
@@ -133,7 +133,7 @@ func RunEngineComparison(cfg Config, graphs map[string]*graph.Graph, p int) erro
 			out[pi].Messages = stats.Messages()
 			out[pi].Bytes = stats.Bytes()
 			out[pi].PartitionSeconds = partSeconds
-			out[pi].RunSeconds = time.Since(start).Seconds()
+			out[pi].RunSeconds = watch.Seconds()
 		}
 		return out, nil
 	})

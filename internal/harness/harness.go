@@ -14,12 +14,12 @@ import (
 	"strconv"
 	"sync"
 	"text/tabwriter"
-	"time"
 
 	"github.com/graphpart/graphpart/internal/core"
 	"github.com/graphpart/graphpart/internal/gen"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/metis"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/streaming"
@@ -100,16 +100,21 @@ func Algorithms(seed uint64) []partition.Partitioner {
 
 // runOne partitions g and measures RF/balance/time.
 func runOne(g *graph.Graph, pt partition.Partitioner, dataset string, p int) (Result, error) {
-	start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
+	sp := obs.Start("harness.cell", obs.String("dataset", dataset),
+		obs.String("algorithm", pt.Name()), obs.Int("p", p))
+	watch := obs.StartWatch()
 	a, err := pt.Partition(g, p)
 	if err != nil {
+		sp.End()
 		return Result{}, fmt.Errorf("harness: %s on %s p=%d: %w", pt.Name(), dataset, p, err)
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := watch.Seconds()
 	m, err := partition.Compute(g, a)
 	if err != nil {
+		sp.End()
 		return Result{}, fmt.Errorf("harness: metrics for %s on %s: %w", pt.Name(), dataset, err)
 	}
+	sp.EndWith(obs.Float("rf", m.ReplicationFactor), obs.Float("seconds", elapsed))
 	return Result{
 		Dataset:   dataset,
 		Algorithm: pt.Name(),

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strconv"
 	"text/tabwriter"
-	"time"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/source"
@@ -56,7 +56,7 @@ func RunWindowAblation(cfg Config, graphs map[string]*graph.Graph, p int) error 
 		}
 		w := window.New(window.Config{Seed: cfg.Seed, WindowEdges: win})
 		src := source.FromGraph(g, source.OrderBFS, cfg.Seed)
-		start := time.Now() //lint:ignore GL002 measures elapsed wall time for reporting; no algorithmic input
+		watch := obs.StartWatch()
 		a, stats, err := w.PartitionStreamStats(src, p)
 		if err != nil {
 			return windowCell{}, fmt.Errorf("harness: window ablation %gC on %s: %w", mult, d.Notation, err)
@@ -65,7 +65,7 @@ func RunWindowAblation(cfg Config, graphs map[string]*graph.Graph, p int) error 
 		if err != nil {
 			return windowCell{}, fmt.Errorf("harness: window ablation metrics %gC on %s: %w", mult, d.Notation, err)
 		}
-		return windowCell{rf: rf, stats: stats, win: win, seconds: time.Since(start).Seconds()}, nil
+		return windowCell{rf: rf, stats: stats, win: win, seconds: watch.Seconds()}, nil
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Add is gated on the global
+// enabled flag; a disabled Add is one atomic load and a branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n when telemetry is enabled.
+func (c *Counter) Add(n int64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value (or max) metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v when telemetry is enabled.
+func (g *Gauge) Set(v int64) {
+	if enabled.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *Gauge) Max(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are the inclusive upper
+// edges of the first len(bounds) buckets, with one implicit overflow bucket.
+// Observation is lock-free (atomic bucket counts; the sum is a CAS loop on
+// float bits).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over sorted bucket bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records v when telemetry is enabled.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper edges; Counts has len(Bounds)+1 entries,
+	// the last being the overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	// Counts are the per-bucket observation counts.
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values.
+	Sum float64 `json:"sum"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a Registry, JSON-serialisable
+// with deterministic (sorted) key order.
+type MetricsSnapshot struct {
+	// Counters maps counter name to value.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name to value.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms maps histogram name to its snapshot.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// use NewRegistry or the package Default.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Default is the registry package-level instrumentation reports into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use. Hot paths
+// should call this once and keep the returned pointer.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every metric in the registry (the metric objects survive, so
+// cached pointers stay valid).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sumBits.Store(0)
+	}
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.buckets)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		snap.Histograms[name] = hs
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON. Map keys are
+// emitted sorted by encoding/json, so the output is deterministic for a
+// given metric state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshalling metrics: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: writing metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAttrs bounds the attributes carried by one span or event (start and end
+// attributes combined). Extra attributes are dropped silently — telemetry
+// must never turn into an error path.
+const maxAttrs = 8
+
+// attrKind discriminates the packed payload of an Attr.
+type attrKind uint8
+
+const (
+	kindInt attrKind = iota
+	kindFloat
+	kindString
+)
+
+// Attr is one key/value span attribute. Values are packed into a flat
+// struct (int64 and float64 share one uint64 field; strings ride the string
+// header) so constructing an Attr never allocates or boxes.
+type Attr struct {
+	// Key names the attribute.
+	Key  string
+	str  string
+	num  uint64
+	kind attrKind
+}
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, num: uint64(int64(v)), kind: kindInt} }
+
+// Int64 returns an integer attribute from an int64.
+func Int64(key string, v int64) Attr { return Attr{Key: key, num: uint64(v), kind: kindInt} }
+
+// Float returns a float attribute.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, num: math.Float64bits(v), kind: kindFloat}
+}
+
+// String returns a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, str: v, kind: kindString} }
+
+// Value unpacks the attribute's payload for export.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindFloat:
+		return math.Float64frombits(a.num)
+	case kindString:
+		return a.str
+	default:
+		return int64(a.num)
+	}
+}
+
+// Span is an in-flight traced operation. The zero value is inert: every
+// method no-ops, which is how disabled telemetry costs nothing — Start
+// returns Span{} when recording is off. Spans are values; they must not be
+// shared across goroutines.
+type Span struct {
+	name  string
+	start time.Time
+	track int32
+	ok    bool
+	n     uint8
+	attrs [maxAttrs]Attr
+}
+
+// Active reports whether the span is recording (started while telemetry was
+// enabled and not yet ended).
+func (sp *Span) Active() bool { return sp.ok }
+
+// nextTrack hands out trace track ids; each root span opens a new track and
+// its children inherit it, which is what nests them in chrome://tracing.
+var nextTrack atomic.Int32
+
+// Start begins a root span on a fresh track. When telemetry is disabled it
+// returns the inert zero Span without touching the clock.
+func Start(name string, attrs ...Attr) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	sp := Span{name: name, start: Now(), track: nextTrack.Add(1), ok: true}
+	sp.setAttrs(attrs)
+	return sp
+}
+
+// Child begins a nested span on the parent's track. A child of an inert
+// span is inert.
+func (sp *Span) Child(name string, attrs ...Attr) Span {
+	if !sp.ok {
+		return Span{}
+	}
+	c := Span{name: name, start: Now(), track: sp.track, ok: true}
+	c.setAttrs(attrs)
+	return c
+}
+
+// setAttrs copies attrs into the span's fixed array (never retaining the
+// slice, so call-site variadic arrays stay on the caller's stack).
+func (sp *Span) setAttrs(attrs []Attr) {
+	for _, a := range attrs {
+		if int(sp.n) >= maxAttrs {
+			return
+		}
+		sp.attrs[sp.n] = a
+		sp.n++
+	}
+}
+
+// End completes the span and records it.
+func (sp *Span) End() { sp.EndWith() }
+
+// EndWith completes the span, merging attrs with the start attributes, and
+// records it into the trace ring. Ending an inert or already-ended span is
+// a no-op.
+func (sp *Span) EndWith(attrs ...Attr) {
+	if !sp.ok {
+		return
+	}
+	sp.ok = false
+	sp.setAttrs(attrs)
+	end := Now()
+	rec := Record{Name: sp.name, Kind: 'X', Track: sp.track, NAttrs: sp.n, Attrs: sp.attrs}
+	pushRecord(&rec, sp.start, end)
+}
+
+// Event records an instantaneous event on the span's track.
+func (sp *Span) Event(name string, attrs ...Attr) {
+	if !sp.ok {
+		return
+	}
+	emitEvent(name, sp.track, attrs)
+}
+
+// Event records an instantaneous event on the shared track 0 (for sites
+// with no surrounding span).
+func Event(name string, attrs ...Attr) {
+	if !enabled.Load() {
+		return
+	}
+	emitEvent(name, 0, attrs)
+}
+
+func emitEvent(name string, track int32, attrs []Attr) {
+	rec := Record{Name: name, Kind: 'i', Track: track}
+	for _, a := range attrs {
+		if int(rec.NAttrs) >= maxAttrs {
+			break
+		}
+		rec.Attrs[rec.NAttrs] = a
+		rec.NAttrs++
+	}
+	now := Now()
+	pushRecord(&rec, now, now)
+}
+
+// Record is one completed span or instant event in the trace ring.
+// Start/Dur are relative to the trace epoch (the moment Enable or
+// ResetTrace anchored recording).
+type Record struct {
+	// Name is the span or event name.
+	Name string
+	// Kind is 'X' for a completed span, 'i' for an instant event
+	// (matching the Chrome trace-event phase letters).
+	Kind byte
+	// Track groups the record for display: a root span and all its
+	// descendants share one track.
+	Track int32
+	// Start is the offset from the trace epoch.
+	Start time.Duration
+	// Dur is the span duration (zero for instants).
+	Dur time.Duration
+	// NAttrs is the number of valid entries in Attrs.
+	NAttrs uint8
+	// Attrs are the record's attributes.
+	Attrs [maxAttrs]Attr
+}
+
+// DefaultTraceCapacity is the trace ring's default bound.
+const DefaultTraceCapacity = 16384
+
+// traceRing is the bounded store of completed records. It appends until the
+// capacity is reached, then overwrites the oldest entries.
+var traceRing struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	cap     int
+	buf     []Record
+	next    int // overwrite cursor once len(buf) == cap
+	full    bool
+	dropped int64 // records overwritten
+}
+
+// anchorEpoch sets the trace epoch if it is unset.
+func anchorEpoch() {
+	traceRing.mu.Lock()
+	if traceRing.epoch.IsZero() {
+		traceRing.epoch = Now()
+	}
+	traceRing.mu.Unlock()
+}
+
+func pushRecord(rec *Record, start, end time.Time) {
+	traceRing.mu.Lock()
+	if traceRing.epoch.IsZero() {
+		traceRing.epoch = start
+	}
+	rec.Start = start.Sub(traceRing.epoch)
+	rec.Dur = end.Sub(start)
+	if traceRing.cap == 0 {
+		traceRing.cap = DefaultTraceCapacity
+	}
+	if len(traceRing.buf) < traceRing.cap {
+		traceRing.buf = append(traceRing.buf, *rec)
+	} else {
+		traceRing.buf[traceRing.next] = *rec
+		traceRing.next++
+		traceRing.full = true
+		traceRing.dropped++
+		if traceRing.next == traceRing.cap {
+			traceRing.next = 0
+		}
+	}
+	traceRing.mu.Unlock()
+}
+
+// SetTraceCapacity bounds the trace ring to n records (minimum 1) and
+// clears it. Zero restores the default capacity.
+func SetTraceCapacity(n int) {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	traceRing.mu.Lock()
+	traceRing.cap = n
+	traceRing.buf = nil
+	traceRing.next = 0
+	traceRing.full = false
+	traceRing.dropped = 0
+	traceRing.epoch = time.Time{}
+	traceRing.mu.Unlock()
+}
+
+// ResetTrace clears the trace ring and re-anchors the epoch.
+func ResetTrace() {
+	traceRing.mu.Lock()
+	traceRing.buf = traceRing.buf[:0]
+	traceRing.next = 0
+	traceRing.full = false
+	traceRing.dropped = 0
+	traceRing.epoch = Now()
+	traceRing.mu.Unlock()
+}
+
+// TraceRecords returns a copy of the recorded trace in chronological
+// (recording) order, plus the number of records the bounded ring dropped.
+func TraceRecords() (recs []Record, dropped int64) {
+	traceRing.mu.Lock()
+	defer traceRing.mu.Unlock()
+	if traceRing.full {
+		recs = make([]Record, 0, len(traceRing.buf))
+		recs = append(recs, traceRing.buf[traceRing.next:]...)
+		recs = append(recs, traceRing.buf[:traceRing.next]...)
+	} else {
+		recs = append(recs, traceRing.buf...)
+	}
+	return recs, traceRing.dropped
+}

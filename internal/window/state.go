@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
 )
@@ -65,8 +66,10 @@ func newWindowState(numVertices int, seed uint64) *windowState {
 
 // refill pulls edges from the stream until the window reaches windowCap live
 // edges or the stream closes. New edges incident to current members extend
-// the frontier and eout.
-func (st *windowState) refill(stream <-chan StreamEdge, windowCap int) {
+// the frontier and eout. sp is the run's trace span; refills that pulled
+// edges are recorded on it as instants (record-only — the span never
+// influences what is pulled).
+func (st *windowState) refill(stream <-chan StreamEdge, windowCap int, sp *obs.Span) {
 	pulled := false
 	for st.windowEdges < windowCap {
 		e, ok := <-stream
@@ -78,6 +81,8 @@ func (st *windowState) refill(stream <-chan StreamEdge, windowCap int) {
 	}
 	if pulled {
 		st.refills++
+		sp.Event("tlpsw.refill",
+			obs.Int("window", st.windowEdges), obs.Int("streamed", st.streamed))
 	}
 }
 

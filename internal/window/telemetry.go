@@ -1,0 +1,23 @@
+package window
+
+import "github.com/graphpart/graphpart/internal/obs"
+
+// Cumulative runtime counters, fed once per run from the Stats the run
+// already maintains — record-only, never read back.
+var (
+	mWindowRuns  = obs.Default.Counter("tlpsw.runs")
+	mRefills     = obs.Default.Counter("tlpsw.refills")
+	mStreamed    = obs.Default.Counter("tlpsw.streamed_edges")
+	mWindowSwept = obs.Default.Counter("tlpsw.swept_edges")
+	gPeakWindow  = obs.Default.Gauge("tlpsw.peak_window_edges")
+)
+
+// recordRunMetrics publishes a finished run's stats to the metrics
+// registry.
+func recordRunMetrics(stats *Stats) {
+	mWindowRuns.Add(1)
+	mRefills.Add(int64(stats.Refills))
+	mStreamed.Add(int64(stats.StreamedEdges))
+	mWindowSwept.Add(int64(stats.SweptEdges))
+	gPeakWindow.Max(int64(stats.PeakWindowEdges))
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/source"
 )
@@ -167,14 +168,17 @@ func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, nu
 	if windowCap < 16 {
 		windowCap = 16
 	}
+	sp := obs.Start("tlpsw.partition", obs.Int("p", p),
+		obs.Int("edges", numEdges), obs.Int("window_cap", windowCap))
 	st := newWindowState(numVertices, w.cfg.Seed)
-	st.refill(stream, windowCap)
+	st.refill(stream, windowCap, &sp)
 	for k := 0; k < p; k++ {
 		st.beginPartition()
+		gsp := sp.Child("tlpsw.grow", obs.Int("k", k))
 		ein := 0
 		for ein < capC {
 			if st.windowEdges == 0 {
-				st.refill(stream, windowCap)
+				st.refill(stream, windowCap, &sp)
 				if st.windowEdges == 0 {
 					break // stream exhausted
 				}
@@ -188,7 +192,7 @@ func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, nu
 					// internals of this partition; take them.
 					n := st.absorbMemberEdges(a, k, capC-ein)
 					ein += n
-					st.refill(stream, windowCap)
+					st.refill(stream, windowCap, &sp)
 					if n == 0 && st.windowEdges == 0 {
 						break
 					}
@@ -215,12 +219,14 @@ func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, nu
 			// Opportunistic refill keeps the window full so growth
 			// decisions see as much context as allowed.
 			if st.windowEdges < windowCap/2 {
-				st.refill(stream, windowCap)
+				st.refill(stream, windowCap, &sp)
 			}
 		}
+		gsp.EndWith(obs.Int("ein", ein), obs.Int("window", st.windowEdges))
 	}
 	// Any edges still unassigned (stream remainder beyond total capacity
 	// rounding, or stranded window edges) sweep to the lightest loads.
+	ssp := sp.Child("tlpsw.sweep")
 	st.drain(stream)
 	// Collect the stragglers and sweep them in EdgeID order: map iteration
 	// order is randomised, and the least-load rule depends on the order
@@ -256,5 +262,9 @@ func (w *Partitioner) PartitionChannel(stream <-chan StreamEdge, numVertices, nu
 		StreamedEdges:   st.streamed,
 		SweptEdges:      swept,
 	}
+	ssp.EndWith(obs.Int("swept", swept))
+	recordRunMetrics(&stats)
+	sp.EndWith(obs.Int("peak_window", stats.PeakWindowEdges),
+		obs.Int("refills", stats.Refills), obs.Int("streamed", stats.StreamedEdges))
 	return a, stats, nil
 }
