@@ -108,12 +108,24 @@ func run(args []string, logw io.Writer) error {
 		skipFig = fs.Bool("skip-harness", false, "skip the fig8 sequential-vs-parallel harness timing")
 		obsOut  = fs.String("obs-out", "", "also write the telemetry phase summary to this JSON file (e.g. BENCH_obs.json)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+
+		stage1Out      = fs.String("stage1-out", "", "write the stage-I kernel worker sweep to this JSON file (e.g. BENCH_stage1.json)")
+		stage1Only     = fs.Bool("stage1-only", false, "run only the stage-I sweep (skip grid, harness and obs probes); requires -stage1-out")
+		stage1Dataset  = fs.String("stage1-dataset", "G1", "dataset notation for the stage-I sweep")
+		stage1P        = fs.Int("stage1-p", 10, "partition count for the stage-I sweep")
+		stage1Baseline = fs.String("stage1-baseline", "BENCH_obs.json", "committed obs snapshot to compare the stage-I sweep against")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pprof != "" {
 		startPprof(*pprof)
+	}
+	if *stage1Only && *stage1Out == "" {
+		return fmt.Errorf("-stage1-only requires -stage1-out")
+	}
+	if *stage1Only {
+		return runStage1Sweep(*stage1Dataset, *seed, *stage1P, *stage1Out, *stage1Baseline, logw)
 	}
 
 	datasets := gen.Datasets()
@@ -243,10 +255,50 @@ func run(args []string, logw io.Writer) error {
 		}
 	}
 
+	if *stage1Out != "" {
+		if err := runStage1Sweep(*stage1Dataset, *seed, *stage1P, *stage1Out, *stage1Baseline, logw); err != nil {
+			return err
+		}
+	}
+
 	if err := writeJSON(*out, snap); err != nil {
 		return err
 	}
 	fmt.Fprintf(logw, "wrote %s (%d cells)\n", *out, len(snap.Cells))
+	return nil
+}
+
+// runStage1Sweep resolves the probe dataset, runs the traced worker sweep
+// {1,2,4,8} and writes the Stage1Snapshot.
+func runStage1Sweep(dataset string, seed uint64, p int, out, baseline string, logw io.Writer) error {
+	var probe *gen.Dataset
+	for _, d := range append(gen.Datasets(), gen.SmallDatasets()...) {
+		if d.Notation == dataset {
+			d := d
+			probe = &d
+			break
+		}
+	}
+	if probe == nil {
+		return fmt.Errorf("unknown stage1 dataset %q", dataset)
+	}
+	fmt.Fprintf(logw, "stage1 sweep: %s p=%d workers 1,2,4,8...\n", dataset, p)
+	sweep, err := collectStage1(probe.Generate(seed), dataset, seed, p, []int{1, 2, 4, 8}, baseline)
+	if err != nil {
+		return err
+	}
+	for _, r := range sweep.Runs {
+		fmt.Fprintf(logw, "  workers=%d: stage1 %.4fs (compact %.4fs, intersect %.4fs, fold %.4fs) hash %s\n",
+			r.Workers, r.Stage1Seconds, r.CompactSeconds, r.IntersectSeconds, r.FoldSeconds, r.PartitionHash)
+	}
+	if sweep.BaselineStage1Seconds > 0 {
+		fmt.Fprintf(logw, "  best %.4fs vs baseline %.4fs: %.2fx (worker-invariant: %v)\n",
+			sweep.BestStage1Seconds, sweep.BaselineStage1Seconds, sweep.SpeedupVsBaseline, sweep.WorkerInvariant)
+	}
+	if err := writeJSON(out, sweep); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "wrote %s\n", out)
 	return nil
 }
 

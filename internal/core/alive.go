@@ -1,0 +1,90 @@
+package core
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+)
+
+// aliveAdj is a mutable, per-vertex compacted view of the CSR adjacency
+// restricted to alive (not yet assigned) edges. Rows start as copies of the
+// sorted CSR rows; when an edge is assigned, killEdge swap-removes it from
+// both endpoint rows in O(1), so the Stage-I scoring kernels iterate only
+// alive entries and never re-test assignment bits in their inner loops.
+//
+// Row order is NOT sorted after the first removal — it is a deterministic
+// function of the assignment history (which is itself deterministic), and
+// every consumer of a row is order-insensitive: intersection kernels count
+// set overlaps, and score folds push into heaps whose pop order depends only
+// on the entry multiset (the heap order (score, deg, v) is strict).
+//
+// Memory: 2m neighbour ids + 2m edge ids + 2m row positions (int32 each)
+// beyond the CSR itself.
+type aliveAdj struct {
+	off   []int64        // off[v]:off[v+1] bounds v's backing row (CSR copy)
+	nbr   []graph.Vertex // neighbour ids; alive prefix is nbr[off[v]:off[v]+n[v]]
+	eid   []graph.EdgeID // edge ids parallel to nbr
+	n     []int32        // alive entries per vertex
+	pos   []int32        // pos[2*e+side] = row-relative index of edge e in its U (side 0) / V (side 1) row
+	edges []graph.Edge   // edge endpoints by id (aliases graph storage)
+}
+
+// newAliveAdj copies the CSR adjacency into mutable rows with every edge
+// alive. Initial row order equals the sorted CSR order.
+func newAliveAdj(g *graph.Graph) *aliveAdj {
+	nv := g.NumVertices()
+	m := g.NumEdges()
+	aa := &aliveAdj{
+		off:   make([]int64, nv+1),
+		nbr:   make([]graph.Vertex, 0, 2*m),
+		eid:   make([]graph.EdgeID, 0, 2*m),
+		n:     make([]int32, nv),
+		pos:   make([]int32, 2*m),
+		edges: g.Edges(),
+	}
+	for v := 0; v < nv; v++ {
+		nbrs := g.Neighbors(graph.Vertex(v))
+		eids := g.IncidentEdges(graph.Vertex(v))
+		aa.off[v+1] = aa.off[v] + int64(len(nbrs))
+		aa.nbr = append(aa.nbr, nbrs...)
+		aa.eid = append(aa.eid, eids...)
+		aa.n[v] = int32(len(nbrs))
+		for i, e := range eids {
+			side := 0
+			if aa.edges[e].V == graph.Vertex(v) {
+				side = 1
+			}
+			aa.pos[2*int(e)+side] = int32(i)
+		}
+	}
+	return aa
+}
+
+// row returns the alive neighbours of v and the parallel edge ids. The
+// slices alias internal storage and are invalidated by the next remove.
+func (aa *aliveAdj) row(v graph.Vertex) ([]graph.Vertex, []graph.EdgeID) {
+	lo := aa.off[v]
+	hi := lo + int64(aa.n[v])
+	return aa.nbr[lo:hi], aa.eid[lo:hi]
+}
+
+// remove deletes edge e from both endpoint rows by swapping the last alive
+// entry into its slot and shrinking the alive count. Each edge must be
+// removed at most once.
+func (aa *aliveAdj) remove(e graph.EdgeID) {
+	ed := aa.edges[e]
+	aa.removeSide(e, ed.U, 0)
+	aa.removeSide(e, ed.V, 1)
+}
+
+func (aa *aliveAdj) removeSide(e graph.EdgeID, v graph.Vertex, side int) {
+	lo := aa.off[v]
+	p := lo + int64(aa.pos[2*int(e)+side])
+	last := lo + int64(aa.n[v]) - 1
+	moved := aa.eid[last]
+	aa.nbr[p], aa.eid[p] = aa.nbr[last], aa.eid[last]
+	ms := 0
+	if aa.edges[moved].V == v {
+		ms = 1
+	}
+	aa.pos[2*int(moved)+ms] = int32(p - lo)
+	aa.n[v]--
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
@@ -145,9 +146,79 @@ func (st *runState) recomputeInvariants(k int) (ein, eout int64, cinOK bool) {
 	return ein, eout, cinOK
 }
 
+// aliveStructureOK verifies the stage-I kernel structures from scratch
+// against the assignment: every compacted alive row holds exactly the
+// unassigned incident edges of its vertex (each entry carrying the right
+// neighbour, at the position the pos index claims, with no duplicates), the
+// row length equals the incremental aliveDeg counter, and every hub bitset
+// holds exactly the alive neighbourhood bit for bit.
+func (st *runState) aliveStructureOK() bool {
+	g := st.g
+	for v := 0; v < g.NumVertices(); v++ {
+		u := graph.Vertex(v)
+		vn, ve := st.alive.row(u)
+		if int32(len(vn)) != st.aliveDeg[u] {
+			return false
+		}
+		seen := make(map[graph.EdgeID]bool, len(ve))
+		for i, e := range ve {
+			if st.a.IsAssigned(e) || seen[e] {
+				return false
+			}
+			seen[e] = true
+			ed := g.Edges()[e]
+			var w graph.Vertex
+			var side int
+			switch u {
+			case ed.U:
+				w, side = ed.V, 0
+			case ed.V:
+				w, side = ed.U, 1
+			default:
+				return false
+			}
+			if vn[i] != w || int(st.alive.pos[2*int(e)+side]) != i {
+				return false
+			}
+		}
+		alive := 0
+		for _, e := range g.IncidentEdges(u) {
+			if !st.a.IsAssigned(e) {
+				alive++
+			}
+		}
+		if alive != len(ve) {
+			return false
+		}
+		if hb := st.hubBits[u]; hb != nil {
+			pc := 0
+			for _, word := range hb {
+				pc += bits.OnesCount64(word)
+			}
+			if pc != len(vn) {
+				return false
+			}
+			for _, w := range vn {
+				if hb[w>>6]&(1<<(uint(w)&63)) == 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// mu1HeapBounded reports whether the lazy score heap respects the
+// maybeCompactMu1Heap bound: stale entries never outnumber the frontier
+// list by more than 2x (plus the 64-entry small-heap allowance).
+func (st *runState) mu1HeapBounded() bool {
+	return len(st.mu1Heap) <= 2*len(st.frontierList)+64
+}
+
 // runLocalInvariantCheck runs TLP verifying the incremental ein/eout/cin
-// state against brute-force recomputation after every absorption. Returns
-// the number of steps where they disagreed.
+// state against brute-force recomputation after every absorption — plus the
+// stage-I kernel structures (compacted alive rows, hub bitsets) and the
+// lazy-heap bound. Returns the number of steps where anything disagreed.
 func runLocalInvariantCheck(g *graph.Graph, p int, opts Options) (bad int, err error) {
 	a, err := partition.New(g.NumEdges(), p)
 	if err != nil {
@@ -163,6 +234,9 @@ func runLocalInvariantCheck(g *graph.Graph, p int, opts Options) (bad int, err e
 	check := func(k int) {
 		ein, eout, cinOK := st.recomputeInvariants(k)
 		if ein != st.ein || eout != st.eout || !cinOK {
+			bad++
+		}
+		if !st.aliveStructureOK() || !st.mu1HeapBounded() {
 			bad++
 		}
 	}

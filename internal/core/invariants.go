@@ -1,6 +1,10 @@
 package core
 
-import "github.com/graphpart/graphpart/internal/invariants"
+import (
+	"math/bits"
+
+	"github.com/graphpart/graphpart/internal/invariants"
+)
 
 // assertRoundInvariants cross-checks the incremental frontier bookkeeping
 // against its definition at a point where the round's state is quiescent
@@ -32,4 +36,38 @@ func (st *runState) assertRoundInvariants() {
 	}
 	invariants.Assertf(sum == st.eout,
 		"round %d: eout=%d but frontier cin sums to %d", st.round, st.eout, sum)
+	st.assertAliveInvariants()
+}
+
+// assertAliveInvariants cross-checks the stage-I kernel structures against
+// the aliveDeg counters they must mirror: every compacted row's alive
+// length equals aliveDeg, the row lengths sum to twice the unassigned edge
+// count (each alive edge appears in exactly two rows), and every hub
+// bitset's popcount equals its owner's alive degree. A drift here silently
+// corrupts every subsequent Eq. 7 score. No-op unless built with
+// -tags graphpart_invariants.
+func (st *runState) assertAliveInvariants() {
+	if !invariants.Enabled {
+		return
+	}
+	var aliveTotal int64
+	for v := range st.aliveDeg {
+		invariants.Assertf(st.alive.n[v] == st.aliveDeg[v],
+			"round %d: vertex %d compacted alive row has %d entries but aliveDeg=%d",
+			st.round, v, st.alive.n[v], st.aliveDeg[v])
+		aliveTotal += int64(st.alive.n[v])
+		if w := st.hubBits[v]; w != nil {
+			pc := 0
+			for _, word := range w {
+				pc += bits.OnesCount64(word)
+			}
+			invariants.Assertf(pc == int(st.alive.n[v]),
+				"round %d: hub %d bitset popcount=%d but alive row has %d entries",
+				st.round, v, pc, st.alive.n[v])
+		}
+	}
+	unassigned := int64(st.g.NumEdges() - st.a.AssignedCount())
+	invariants.Assertf(aliveTotal == 2*unassigned,
+		"round %d: alive rows total %d entries but %d edges are unassigned (want %d)",
+		st.round, aliveTotal, unassigned, 2*unassigned)
 }

@@ -79,7 +79,16 @@ type Options struct {
 	// Stage1NeighborCap bounds how many of j's neighbours are scanned per
 	// common-neighbour count, sampling evenly when j's alive degree
 	// exceeds the cap (the count is scaled back up). Zero means unlimited.
+	// Setting the cap routes every stage-I intersection through the legacy
+	// stride-sampling path (sampledOverlap) instead of the exact kernels.
 	Stage1NeighborCap int
+
+	// Workers bounds the goroutines of the stage-I parallel scoring
+	// fan-out. Zero resolves through GRAPHPART_WORKERS and then GOMAXPROCS
+	// (internal/parallel). The partitioning is bit-identical for every
+	// value: workers only compute index-addressed intersection counts, and
+	// the sequential fold consumes them in a fixed order.
+	Workers int
 }
 
 func (o Options) capacitySlack() float64 {
@@ -95,6 +104,9 @@ func (o Options) validate() error {
 	}
 	if o.Stage1MemberCap < 0 || o.Stage1NeighborCap < 0 {
 		return fmt.Errorf("core: negative stage-I caps")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
 	}
 	switch o.Stage1Policy {
 	case 0, PolicyMuS1, PolicyMaxDegree:
@@ -131,6 +143,26 @@ type Stats struct {
 	SweptEdges int
 	// Rounds is the number of partition-growth rounds executed.
 	Rounds int
+	// Stage1Kernels breaks down the Eq. 7 intersections by the kernel that
+	// evaluated them (DESIGN.md §13).
+	Stage1Kernels KernelCounts
+}
+
+// KernelCounts tallies stage-I intersection evaluations per kernel. Every
+// kernel computes the same exact overlap except Sampled, the documented
+// Stage1NeighborCap stride approximation.
+type KernelCounts struct {
+	// Scan counts epoch-stamp scans over compacted alive rows.
+	Scan int64
+	// Bitset counts alive-row scans against a persistent hub bitset.
+	Bitset int64
+	// Word counts word-at-a-time bitset AND+popcount intersections
+	// (both endpoints hubs).
+	Word int64
+	// Gallop counts short-row-into-sorted-CSR binary-search intersections.
+	Gallop int64
+	// Sampled counts legacy Stage1NeighborCap stride-sampled evaluations.
+	Sampled int64
 }
 
 // AvgDegreeStage1 returns the average original-graph degree of the vertices

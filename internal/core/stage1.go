@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/parallel"
 )
 
 // Stage-I selection maximises mu_s1 (Eq. 7): the closeness of a frontier
@@ -65,23 +66,26 @@ func (h *scoreHeap) pop() (scoreEntry, bool) {
 	last := len(old) - 1
 	old[0] = old[last]
 	*h = old[:last]
-	i := 0
+	h.siftDown(0)
+	return top, true
+}
+
+func (h scoreHeap) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
-		if l < last && (*h).less(l, best) {
+		if l < len(h) && h.less(l, best) {
 			best = l
 		}
-		if r < last && (*h).less(r, best) {
+		if r < len(h) && h.less(r, best) {
 			best = r
 		}
 		if best == i {
-			break
+			return
 		}
-		(*h)[i], (*h)[best] = (*h)[best], (*h)[i]
+		h[i], h[best] = h[best], h[i]
 		i = best
 	}
-	return top, true
 }
 
 func (h scoreHeap) peek() (scoreEntry, bool) {
@@ -159,9 +163,24 @@ func (st *runState) selectStage1Exact() (graph.Vertex, bool) {
 	return bestV, found
 }
 
+// stage1ParallelMin is the candidate count below which the scoring fan-out
+// stays on the calling goroutine: pool startup costs a few microseconds,
+// which only pays off once a frontier row carries hundreds of intersections.
+const stage1ParallelMin = 256
+
 // updateStage1Scores folds the newly absorbed member j into the cached
 // mu_s1 scores of its frontier neighbours: each gains the candidate term
 // overlap(v, j) / |N(j)| where N(·) is the alive neighbourhood.
+//
+// The loop runs in three phases over j's compacted alive row (DESIGN.md
+// §13): mark (stamp j's alive neighbourhood, skipped for hubs whose
+// persistent bitset already answers membership), intersect (one exact
+// kernel evaluation per candidate, fanned over internal/parallel when the
+// row is large — results land in the index-addressed countBuf, so the
+// counts are bit-identical for any worker count), and fold (sequential
+// heap/score updates in row order). Only the intersect phase runs
+// concurrently, and it exclusively reads state, so the fold — the only
+// writer — keeps the output byte-for-byte equal to a 1-worker run.
 func (st *runState) updateStage1Scores(j graph.Vertex) {
 	if st.opts.Stage1Exact || st.opts.stage1Policy() == PolicyMaxDegree {
 		return // these modes rescan; no cache to maintain
@@ -170,6 +189,85 @@ func (st *runState) updateStage1Scores(j graph.Vertex) {
 	if dj <= 0 {
 		return
 	}
+	if st.opts.Stage1NeighborCap > 0 {
+		st.updateStage1ScoresSampled(j)
+		return
+	}
+	w := st.kernelWatch()
+	mark := st.markAlive(j)
+
+	jn, _ := st.alive.row(j)
+	djf := float64(dj)
+	if len(jn) < stage1ParallelMin || st.workers <= 1 {
+		// Sequential rows fuse intersect and fold into one pass: the fold
+		// only writes mu1Score/mu1Heap, which no kernel reads, so the fused
+		// pass computes exactly what the staged one does. Fold time is
+		// accounted under intersect here.
+		var local [numKernels]int64
+		for _, v := range jn {
+			if st.isMember(v) {
+				continue
+			}
+			cnt, kind := st.overlapAlive(j, v, mark)
+			local[kind]++
+			if score := float64(cnt) / djf; score > st.mu1Score[v] {
+				st.mu1Score[v] = score
+				st.mu1Heap.push(scoreEntry{score: score, deg: st.aliveDeg[v], v: v})
+				st.maybeCompactMu1Heap()
+			}
+		}
+		for k, n := range local {
+			if n > 0 {
+				st.kernelCounts[k].Add(n)
+			}
+		}
+		st.tIntersect += w.lap()
+		return
+	}
+
+	if cap(st.countBuf) < len(jn) {
+		st.countBuf = make([]int32, len(jn)*2)
+	}
+	counts := st.countBuf[:len(jn)]
+	chunks := parallel.Chunks(len(jn), st.workers*4)
+	parallel.ForEach(len(chunks), st.workers, func(c int) {
+		var local [numKernels]int64
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			v := jn[i]
+			if st.isMember(v) {
+				counts[i] = -1
+				continue
+			}
+			cnt, kind := st.overlapAlive(j, v, mark)
+			counts[i] = int32(cnt)
+			local[kind]++
+		}
+		for k, n := range local {
+			if n > 0 {
+				st.kernelCounts[k].Add(n)
+			}
+		}
+	})
+	st.tIntersect += w.lap()
+
+	for i, v := range jn {
+		if counts[i] < 0 {
+			continue
+		}
+		if score := float64(counts[i]) / djf; score > st.mu1Score[v] {
+			st.mu1Score[v] = score
+			st.mu1Heap.push(scoreEntry{score: score, deg: st.aliveDeg[v], v: v})
+			st.maybeCompactMu1Heap()
+		}
+	}
+	st.tFold += w.lap()
+}
+
+// updateStage1ScoresSampled is the legacy scoring loop kept verbatim for
+// Stage1NeighborCap configurations: full CSR rows, per-edge assignment
+// checks, and stride-sampled counts via sampledOverlap, so capped runs
+// reproduce their historical output exactly.
+func (st *runState) updateStage1ScoresSampled(j graph.Vertex) {
 	g := st.g
 	mark := st.nextMark()
 	jn := g.Neighbors(j)
@@ -179,59 +277,70 @@ func (st *runState) updateStage1Scores(j graph.Vertex) {
 			st.markStamp[u] = mark
 		}
 	}
-	djf := float64(dj)
+	djf := float64(st.aliveDeg[j])
 	for i, v := range jn {
 		if st.a.IsAssigned(je[i]) || st.isMember(v) {
 			continue
 		}
-		overlap := st.countOverlap(v, mark)
+		overlap := st.sampledOverlap(v, mark)
+		st.kernelCounts[kernelSampled].Add(1)
 		if score := float64(overlap) / djf; score > st.mu1Score[v] {
 			st.mu1Score[v] = score
 			st.mu1Heap.push(scoreEntry{score: score, deg: st.aliveDeg[v], v: v})
+			st.maybeCompactMu1Heap()
 		}
 	}
 }
 
-// countOverlap counts alive neighbours of v carrying the given mark,
-// sampling v's adjacency row with a stride when Stage1NeighborCap bounds it
-// (the count is scaled back up).
-func (st *runState) countOverlap(v graph.Vertex, mark int32) int {
-	g := st.g
-	vn := g.Neighbors(v)
-	ve := g.IncidentEdges(v)
-	stride := 1
-	if capN := st.opts.Stage1NeighborCap; capN > 0 && len(vn) > capN {
-		stride = (len(vn) + capN - 1) / capN
+// maybeCompactMu1Heap drops stale lazy-heap entries once they outnumber the
+// plausible frontier by 2x, bounding heap growth at O(frontier): every live
+// entry's vertex is on frontierList, so after compaction len(heap) <=
+// len(frontierList). Staleness is permanent within a round (members stay
+// members, dead stays dead, cached scores only increase), so removing stale
+// entries eagerly is indistinguishable from selectStage1's lazy discards.
+func (st *runState) maybeCompactMu1Heap() {
+	if len(st.mu1Heap) <= 64 || len(st.mu1Heap) <= 2*len(st.frontierList) {
+		return
 	}
-	cnt := 0
-	for idx := 0; idx < len(vn); idx += stride {
-		if st.a.IsAssigned(ve[idx]) {
-			continue
-		}
-		if st.markStamp[vn[idx]] == mark {
-			cnt++
+	live := st.mu1Heap[:0]
+	for _, e := range st.mu1Heap {
+		if st.inFrontier(e.v) && !st.isMember(e.v) &&
+			st.aliveDeg[e.v] > 0 && e.score == st.mu1Score[e.v] {
+			live = append(live, e)
 		}
 	}
-	if stride > 1 {
-		cnt *= stride
+	st.mu1Heap = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		st.mu1Heap.siftDown(i)
 	}
-	return cnt
 }
 
 // computeMu1 evaluates Eq. 7 for candidate v from scratch (exact mode):
-// the maximum over alive member neighbours j of overlap(v,j)/|N(j)|.
+// the maximum over alive member neighbours j of overlap(v,j)/|N(j)|. The
+// member iteration stays on the full CSR row so the Stage1MemberCap
+// examination order is untouched; only the inner intersections dispatch to
+// the alive-row kernels (or to sampledOverlap when Stage1NeighborCap is
+// configured, preserving the capped mode's historical counts).
 func (st *runState) computeMu1(v graph.Vertex) float64 {
 	g := st.g
-	mark := st.nextMark()
-	nbrs := g.Neighbors(v)
-	eids := g.IncidentEdges(v)
-	for i, u := range nbrs {
-		if !st.a.IsAssigned(eids[i]) {
-			st.markStamp[u] = mark
+	legacy := st.opts.Stage1NeighborCap > 0
+	var mark int32
+	if legacy {
+		mark = st.nextMark()
+		nbrs := g.Neighbors(v)
+		eids := g.IncidentEdges(v)
+		for i, u := range nbrs {
+			if !st.a.IsAssigned(eids[i]) {
+				st.markStamp[u] = mark
+			}
 		}
+	} else {
+		mark = st.markAlive(v)
 	}
 	best := 0.0
 	examined := 0
+	nbrs := g.Neighbors(v)
+	eids := g.IncidentEdges(v)
 	for i, j := range nbrs {
 		if st.a.IsAssigned(eids[i]) || !st.isMember(j) {
 			continue
@@ -244,16 +353,18 @@ func (st *runState) computeMu1(v graph.Vertex) float64 {
 		if dj <= 0 {
 			continue
 		}
-		common := st.overlapOf(j, mark)
+		var common int
+		if legacy {
+			common = st.sampledOverlap(j, mark)
+			st.kernelCounts[kernelSampled].Add(1)
+		} else {
+			var kind kernelKind
+			common, kind = st.overlapAlive(v, j, mark)
+			st.kernelCounts[kind].Add(1)
+		}
 		if score := float64(common) / float64(dj); score > best {
 			best = score
 		}
 	}
 	return best
-}
-
-// overlapOf counts alive neighbours of j carrying the mark (the stamped
-// alive neighbourhood of the candidate), sampled under Stage1NeighborCap.
-func (st *runState) overlapOf(j graph.Vertex, mark int32) int {
-	return st.countOverlap(j, mark)
 }

@@ -18,6 +18,9 @@ import (
 // better-connected candidate) therefore finds the exact argmax without
 // touching every frontier vertex.
 func (st *runState) selectStage2() (graph.Vertex, bool) {
+	if !st.bucketsLive {
+		st.rebuildBuckets()
+	}
 	bestScore := math.Inf(-1)
 	var bestV graph.Vertex
 	found := false

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sync/atomic"
+	"time"
+
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/rng"
 )
@@ -41,9 +45,13 @@ type runState struct {
 	frontierList []graph.Vertex
 
 	// Stage II bucket structure: buckets[c] is a lazy min-heap over
-	// (cout, v) of frontier vertices whose cin was c at push time.
-	buckets []coutHeap
-	maxCin  int32
+	// (cout, v) of frontier vertices whose cin was c at push time. Buckets
+	// are built lazily: touchFrontier only feeds them once bucketsLive is
+	// set by the first stage-II selection of the round (rebuildBuckets), so
+	// stage-I growth pays no bucket maintenance at all.
+	buckets     []coutHeap
+	maxCin      int32
+	bucketsLive bool
 	// Stage I score cache and lazy max-heap (see stage1.go).
 	mu1Score []float64
 	mu1Heap  scoreHeap
@@ -51,6 +59,26 @@ type runState struct {
 	// scratch stamps for common-neighbour marking (mu_s1).
 	markStamp []int32
 	markEpoch int32
+
+	// Stage-I scoring kernel state (DESIGN.md §13): the compacted alive
+	// adjacency, the persistent hub bitsets, and the resolved worker count
+	// for the parallel frontier-scoring fan-out.
+	alive        *aliveAdj
+	hubBits      [][]uint64 // nil for non-hubs; alive-neighbour bitset for hubs
+	hubWords     int        // words per hub bitset: ceil(n/64)
+	hubThreshold int        // full degree at which a vertex becomes a hub
+	workers      int        // resolved stage-I scoring workers
+	countBuf     []int32    // per-candidate overlap results, index-addressed
+
+	// kernelCounts tallies intersections per kernelKind; atomics because
+	// parallel scoring workers merge per-chunk counts concurrently.
+	kernelCounts [numKernels]atomic.Int64
+
+	// Per-round kernel-phase wall-clock accumulators, only advanced while
+	// telemetry records; flushed as tlp.s1.* trace segments at round end.
+	// Marking is accounted under intersect (one fewer clock read per
+	// absorption on the hot path).
+	tCompact, tIntersect, tFold time.Duration
 
 	// ein/eout are |E(P_k)| and |E_out(P_k)| of the current round's
 	// partition, maintained incrementally.
@@ -79,6 +107,9 @@ func newRunState(g *graph.Graph, a *partition.Assignment, opts Options) *runStat
 			st.alivePool = append(st.alivePool, graph.Vertex(v))
 		}
 	}
+	st.workers = parallel.Workers(opts.Workers)
+	st.alive = newAliveAdj(g)
+	st.initHubBitsets()
 	return st
 }
 
@@ -90,6 +121,7 @@ func (st *runState) beginRound() {
 		st.buckets[i] = st.buckets[i][:0]
 	}
 	st.maxCin = 0
+	st.bucketsLive = false
 	st.mu1Heap = st.mu1Heap[:0]
 	st.ein = 0
 	st.eout = 0
@@ -154,7 +186,25 @@ func (st *runState) touchFrontier(u graph.Vertex) {
 		}
 	}
 	st.cin[u]++
-	st.pushBucket(u)
+	if st.bucketsLive {
+		st.pushBucket(u)
+	}
+}
+
+// rebuildBuckets populates the stage-II buckets from the live frontier and
+// switches touchFrontier into push-through mode for the rest of the round.
+// Selection is unchanged versus eager maintenance: under eager pushes a
+// vertex's latest push always matches its current (cin, cout) — cout cannot
+// drift without a cin change while the vertex stays a non-member — so each
+// bucket's minimum valid entry is the same vertex either way.
+func (st *runState) rebuildBuckets() {
+	st.bucketsLive = true
+	for _, u := range st.frontierList {
+		if !st.inFrontier(u) || st.isMember(u) || st.aliveDeg[u] <= 0 || st.cin[u] <= 0 {
+			continue
+		}
+		st.pushBucket(u)
+	}
 }
 
 // coutHeap is a binary min-heap of (cout, v) entries ordered by cout then

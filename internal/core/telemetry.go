@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"github.com/graphpart/graphpart/internal/obs"
 )
@@ -15,6 +16,15 @@ var (
 	mStage2Selections = obs.Default.Counter("tlp.stage2_selections")
 	mReseeds          = obs.Default.Counter("tlp.reseeds")
 	mSweptEdges       = obs.Default.Counter("tlp.swept_edges")
+
+	// Per-kernel intersection counts (see kernelKind in kernels.go).
+	mKernelCounts = [numKernels]*obs.Counter{
+		kernelScan:    obs.Default.Counter("tlp.s1.kernel_scan"),
+		kernelBitset:  obs.Default.Counter("tlp.s1.kernel_bitset"),
+		kernelWord:    obs.Default.Counter("tlp.s1.kernel_word"),
+		kernelGallop:  obs.Default.Counter("tlp.s1.kernel_gallop"),
+		kernelSampled: obs.Default.Counter("tlp.s1.kernel_sampled"),
+	}
 )
 
 // recordRunMetrics publishes a finished run's stats to the metrics
@@ -26,6 +36,38 @@ func recordRunMetrics(stats *Stats) {
 	mStage2Selections.Add(int64(stats.Stage2Selections))
 	mReseeds.Add(int64(stats.Reseeds))
 	mSweptEdges.Add(int64(stats.SweptEdges))
+	mKernelCounts[kernelScan].Add(stats.Stage1Kernels.Scan)
+	mKernelCounts[kernelBitset].Add(stats.Stage1Kernels.Bitset)
+	mKernelCounts[kernelWord].Add(stats.Stage1Kernels.Word)
+	mKernelCounts[kernelGallop].Add(stats.Stage1Kernels.Gallop)
+	mKernelCounts[kernelSampled].Add(stats.Stage1Kernels.Sampled)
+}
+
+// kernelStopwatch accumulates kernel-phase wall clock through the obs clock
+// seam. The zero value (telemetry off) makes every lap free.
+type kernelStopwatch struct {
+	last time.Time
+	ok   bool
+}
+
+// kernelWatch starts a stopwatch only while telemetry records, so the
+// disabled hot path pays one atomic load and no clock reads.
+func (st *runState) kernelWatch() kernelStopwatch {
+	if !obs.Enabled() {
+		return kernelStopwatch{}
+	}
+	return kernelStopwatch{last: obs.Now(), ok: true}
+}
+
+// lap returns the time since the previous lap (or start) and re-arms.
+func (w *kernelStopwatch) lap() time.Duration {
+	if !w.ok {
+		return 0
+	}
+	now := obs.Now()
+	d := now.Sub(w.last)
+	w.last = now
+	return d
 }
 
 // roundTrace threads the tlp.round span and its stage-segment children
@@ -79,11 +121,17 @@ func (rt *roundTrace) closeSeg(st *runState) {
 }
 
 // end closes any open stage segment and the round span, stamping the
-// round's final growth state.
+// round's final growth state. The accumulated stage-I kernel phases are
+// flushed as tlp.s1.* segments under the round span (one per phase per
+// round — per-absorption spans would overflow the trace ring).
 func (rt *roundTrace) end(st *runState) {
 	if rt.inSeg {
 		rt.closeSeg(st)
 	}
+	rt.round.Segment("tlp.s1.compact", st.tCompact)
+	rt.round.Segment("tlp.s1.intersect", st.tIntersect)
+	rt.round.Segment("tlp.s1.fold", st.tFold)
+	st.tCompact, st.tIntersect, st.tFold = 0, 0, 0
 	rt.round.EndWith(obs.Int64("ein", st.ein), obs.Int64("eout", st.eout),
 		obs.Int("frontier", len(st.frontierList)))
 }

@@ -130,7 +130,10 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 	}
 	sp := obs.Start("tlp.partition",
 		obs.Int("p", p), obs.Int("edges", m), obs.Int("capacity", capC))
+	bsp := sp.Child("tlp.s1.build")
 	st := newRunState(g, a, opts)
+	bsp.EndWith(obs.Int("hub_threshold", st.hubThreshold),
+		obs.Int("workers", st.workers))
 	assigned := 0
 	for k := 0; k < p && assigned < m; k++ {
 		stats.Rounds++
@@ -234,6 +237,13 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 		sweepLeftovers(g, a, &stats)
 		ssp.EndWith(obs.Int("swept", stats.SweptEdges))
 	}
+	stats.Stage1Kernels = KernelCounts{
+		Scan:    st.kernelCounts[kernelScan].Load(),
+		Bitset:  st.kernelCounts[kernelBitset].Load(),
+		Word:    st.kernelCounts[kernelWord].Load(),
+		Gallop:  st.kernelCounts[kernelGallop].Load(),
+		Sampled: st.kernelCounts[kernelSampled].Load(),
+	}
 	recordRunMetrics(&stats)
 	sp.EndWith(obs.Int("rounds", stats.Rounds),
 		obs.Int("stage1_selections", stats.Stage1Selections),
@@ -250,10 +260,77 @@ func runLocal(g *graph.Graph, p int, opts Options, isStage1 stagePolicy) (*parti
 // mid-vertex; the round must end and v is NOT recorded as a member, so its
 // remaining member edges stay alive for later rounds).
 func (st *runState) absorb(v graph.Vertex, k, capC int) (assigned int, full bool) {
+	// cin[v] is exact for any non-member mid-round (an alive v-member edge
+	// can only die by absorbing v itself), so ein+cin tells up front whether
+	// the capacity can be hit mid-vertex. Only that rare path must scan the
+	// full CSR row — a capacity break has always assigned a CSR-order edge
+	// prefix, and compacted rows are in swap-mutated order.
+	cin := 0
+	if st.inFrontier(v) {
+		cin = int(st.cin[v])
+	}
+	if int(st.ein)+cin > capC {
+		return st.absorbPrefix(v, k, capC)
+	}
+	w := st.kernelWatch()
+	// Guaranteed-full absorption: every alive member edge gets assigned, so
+	// assignment order cannot matter and the loop walks only v's compacted
+	// alive row. killEdge swaps the row's last alive entry into the current
+	// slot, so the index only advances past non-member entries.
+	aa := st.alive
+	lo := aa.off[v]
+	for i := int64(0); i < int64(aa.n[v]); {
+		u := aa.nbr[lo+i]
+		if !st.isMember(u) {
+			i++
+			continue
+		}
+		eid := aa.eid[lo+i]
+		st.a.Assign(eid, k)
+		st.ein++
+		st.eout--
+		st.aliveDeg[v]--
+		st.aliveDeg[u]--
+		st.killEdge(eid)
+		assigned++
+	}
+	st.tCompact += w.lap()
+	st.finishAbsorb(v)
+	return assigned, true
+}
+
+// finishAbsorb records v as a member and extends the frontier: after a full
+// absorption every alive edge of v leads to a non-member, so v's compacted
+// row is exactly the frontier extension set. Row order differs from CSR
+// order, but touchFrontier's effects are order insensitive: cin increments
+// commute, and the bucket/score heaps pop in an order determined only by
+// their entry multisets.
+func (st *runState) finishAbsorb(v graph.Vertex) {
+	st.memberEpoch[v] = st.round
+	vn, _ := st.alive.row(v)
+	for _, u := range vn {
+		if st.isMember(u) {
+			continue
+		}
+		st.eout++
+		st.touchFrontier(u)
+	}
+	st.updateStage1Scores(v)
+}
+
+// absorbPrefix is the capacity-hit absorption path: scan v's full CSR row in
+// order, assigning alive member edges until the capacity stops the round, so
+// a partial absorption assigns exactly the same edge prefix it always has.
+// On the partial outcome v is not recorded as a member, and its remaining
+// member edges stay alive for later rounds. (With exact cin the capacity
+// always interrupts this path; the full outcome is kept for parity with the
+// historical loop.)
+func (st *runState) absorbPrefix(v graph.Vertex, k, capC int) (assigned int, full bool) {
 	g := st.g
 	nbrs := g.Neighbors(v)
 	eids := g.IncidentEdges(v)
 	partial := false
+	w := st.kernelWatch()
 	for i, u := range nbrs {
 		eid := eids[i]
 		if st.a.IsAssigned(eid) || !st.isMember(u) {
@@ -268,20 +345,14 @@ func (st *runState) absorb(v graph.Vertex, k, capC int) (assigned int, full bool
 		st.eout--
 		st.aliveDeg[v]--
 		st.aliveDeg[u]--
+		st.killEdge(eid)
 		assigned++
 	}
+	st.tCompact += w.lap()
 	if partial {
 		return assigned, false
 	}
-	st.memberEpoch[v] = st.round
-	for i, u := range nbrs {
-		if st.a.IsAssigned(eids[i]) || st.isMember(u) {
-			continue
-		}
-		st.eout++
-		st.touchFrontier(u)
-	}
-	st.updateStage1Scores(v)
+	st.finishAbsorb(v)
 	return assigned, true
 }
 

@@ -130,6 +130,28 @@ func (sp *Span) EndWith(attrs ...Attr) {
 	pushRecord(&rec, sp.start, end)
 }
 
+// Segment records a completed span of duration d ending now on the span's
+// track. It exists for accumulated instrumentation: hot loops that cannot
+// afford one span per iteration sum their phase durations in plain counters
+// and emit one segment per enclosing span (e.g. the TLP stage-I kernel
+// phases, summed per absorption and flushed per round). A segment on an
+// inert span, or with non-positive duration, is a no-op.
+func (sp *Span) Segment(name string, d time.Duration, attrs ...Attr) {
+	if !sp.ok || d <= 0 {
+		return
+	}
+	rec := Record{Name: name, Kind: 'X', Track: sp.track}
+	for _, a := range attrs {
+		if int(rec.NAttrs) >= maxAttrs {
+			break
+		}
+		rec.Attrs[rec.NAttrs] = a
+		rec.NAttrs++
+	}
+	end := Now()
+	pushRecord(&rec, end.Add(-d), end)
+}
+
 // Event records an instantaneous event on the span's track.
 func (sp *Span) Event(name string, attrs ...Attr) {
 	if !sp.ok {
