@@ -9,6 +9,7 @@
 //	benchsnap                          # full grid -> BENCH_baseline.json
 //	benchsnap -quick -out /tmp/b.json  # ~10% scale datasets, seconds
 //	benchsnap -datasets G1,G2 -ps 10   # restrict the grid
+//	benchsnap -net                     # Mem-vs-TCP probe -> BENCH_net.json
 //
 // Cells run strictly sequentially so per-cell seconds and allocation deltas
 // are not distorted by concurrent cells. The snapshot additionally times the
@@ -114,6 +115,11 @@ func run(args []string, logw io.Writer) error {
 		stage1Dataset  = fs.String("stage1-dataset", "G1", "dataset notation for the stage-I sweep")
 		stage1P        = fs.Int("stage1-p", 10, "partition count for the stage-I sweep")
 		stage1Baseline = fs.String("stage1-baseline", "BENCH_obs.json", "committed obs snapshot to compare the stage-I sweep against")
+
+		netFlag    = fs.Bool("net", false, "run only the transport probe (PageRank over Mem vs TCP) and write -net-out")
+		netOut     = fs.String("net-out", "BENCH_net.json", "output JSON path for the -net probe")
+		netDataset = fs.String("net-dataset", "G1", "dataset notation for the -net probe")
+		netPs      = fs.String("net-ps", "2,8", "comma-separated partition counts for the -net probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +132,13 @@ func run(args []string, logw io.Writer) error {
 	}
 	if *stage1Only {
 		return runStage1Sweep(*stage1Dataset, *seed, *stage1P, *stage1Out, *stage1Baseline, logw)
+	}
+	if *netFlag {
+		ps, err := parseNetPs(*netPs)
+		if err != nil {
+			return err
+		}
+		return runNetProbe(*netDataset, *seed, ps, *netOut, logw)
 	}
 
 	datasets := gen.Datasets()

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/wire"
+)
+
+// NetCell is one transport measurement: PageRank on a fixed TLP
+// partitioning, run over either the in-process MemTransport or the framed
+// TCP loopback mesh. Mem and TCP cells at the same p execute the identical
+// message sequence (the engine is bit-deterministic across transports), so
+// their wall-clock delta is pure transport cost and their byte delta is
+// exactly one 5-byte frame header per message.
+type NetCell struct {
+	Dataset      string  `json:"dataset"`
+	P            int     `json:"p"`
+	Transport    string  `json:"transport"`
+	Supersteps   int     `json:"supersteps"`
+	Messages     int64   `json:"messages"`
+	Bytes        int64   `json:"bytes"`
+	ControlBytes int64   `json:"control_bytes"`
+	Seconds      float64 `json:"seconds"`
+}
+
+// NetSnapshot is the JSON document the -net probe writes (BENCH_net.json).
+type NetSnapshot struct {
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	GoVersion   string    `json:"go_version"`
+	Seed        uint64    `json:"seed"`
+	GeneratedAt string    `json:"generated_at"`
+	Dataset     string    `json:"dataset"`
+	Algorithm   string    `json:"algorithm"`
+	Program     string    `json:"program"`
+	Cells       []NetCell `json:"cells"`
+}
+
+// runNetProbe times PageRank over MemTransport versus TCPTransport on one
+// TLP-partitioned dataset at each requested p, verifies the runs are the
+// same computation with the expected framed-byte relation, and writes the
+// snapshot. Cells run sequentially so timings do not distort each other.
+func runNetProbe(dataset string, seed uint64, ps []int, out string, logw io.Writer) error {
+	var probe *gen.Dataset
+	for _, d := range append(gen.Datasets(), gen.SmallDatasets()...) {
+		if d.Notation == dataset {
+			d := d
+			probe = &d
+			break
+		}
+	}
+	if probe == nil {
+		return fmt.Errorf("unknown net-probe dataset %q", dataset)
+	}
+	g := probe.Generate(seed)
+	prog := func() engine.Program { return engine.NewPageRank(g.NumVertices(), 0.85, 1e-9) }
+
+	snap := NetSnapshot{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Dataset:     dataset,
+		Algorithm:   "tlp",
+		Program:     "pagerank",
+	}
+
+	for _, p := range ps {
+		alg := harness.Algorithms(seed)[0] // roster slot 0 is TLP
+		a, err := alg.Partition(g, p)
+		if err != nil {
+			return fmt.Errorf("net probe: TLP on %s p=%d: %w", dataset, p, err)
+		}
+		e, err := engine.New(g, a)
+		if err != nil {
+			return fmt.Errorf("net probe: engine on %s p=%d: %w", dataset, p, err)
+		}
+
+		mem, err := timeTransport(e, prog(), engine.NewMemTransport(p), nil)
+		if err != nil {
+			return fmt.Errorf("net probe: mem run on %s p=%d: %w", dataset, p, err)
+		}
+		tcp, err := wire.NewTCPTransport(p)
+		if err != nil {
+			return fmt.Errorf("net probe: tcp mesh p=%d: %w", p, err)
+		}
+		tcpCell, err := func() (NetCell, error) {
+			defer tcp.Close()
+			return timeTransport(e, prog(), tcp, tcp.ControlBytes)
+		}()
+		if err != nil {
+			return fmt.Errorf("net probe: tcp run on %s p=%d: %w", dataset, p, err)
+		}
+
+		// The two runs must be the same computation: equal message counts
+		// and TCP bytes = Mem payload bytes + one frame header per message.
+		if mem.Messages != tcpCell.Messages || mem.Supersteps != tcpCell.Supersteps {
+			return fmt.Errorf("net probe: transports diverged on %s p=%d: mem %d msgs/%d steps, tcp %d msgs/%d steps",
+				dataset, p, mem.Messages, mem.Supersteps, tcpCell.Messages, tcpCell.Supersteps)
+		}
+		if want := mem.Bytes + wire.FrameHeaderSize*mem.Messages; tcpCell.Bytes != want {
+			return fmt.Errorf("net probe: framed bytes on %s p=%d: got %d, want %d (mem %d + %d/frame)",
+				dataset, p, tcpCell.Bytes, want, mem.Bytes, wire.FrameHeaderSize)
+		}
+
+		mem.Dataset, mem.P, mem.Transport = dataset, p, "mem"
+		tcpCell.Dataset, tcpCell.P, tcpCell.Transport = dataset, p, "tcp"
+		snap.Cells = append(snap.Cells, mem, tcpCell)
+		fmt.Fprintf(logw, "net %s p=%d: mem %.4fs, tcp %.4fs (%.1fx), %d msgs, %d payload B, %d framed B, %d control B\n",
+			dataset, p, mem.Seconds, tcpCell.Seconds, tcpCell.Seconds/mem.Seconds,
+			mem.Messages, mem.Bytes, tcpCell.Bytes, tcpCell.ControlBytes)
+	}
+
+	if err := writeJSON(out, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "wrote %s (%d cells)\n", out, len(snap.Cells))
+	return nil
+}
+
+// timeTransport runs prog over tr and distils the cell: wall-clock seconds,
+// message/byte totals, and — when a controlBytes reader is given (the TCP
+// mesh) — the control-plane framing overhead read after the run.
+func timeTransport(e *engine.Engine, prog engine.Program, tr engine.Transport, controlBytes func() int64) (NetCell, error) {
+	const maxSupersteps = 50
+	start := time.Now()
+	_, stats, err := e.RunWith(prog, maxSupersteps, tr)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return NetCell{}, err
+	}
+	cell := NetCell{
+		Supersteps: stats.Supersteps,
+		Messages:   stats.Messages(),
+		Bytes:      stats.Bytes(),
+		Seconds:    elapsed,
+	}
+	if controlBytes != nil {
+		cell.ControlBytes = controlBytes()
+	}
+	return cell, nil
+}
+
+// parseNetPs parses the -net-ps comma list.
+func parseNetPs(s string) ([]int, error) {
+	var ps []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 2 {
+			return nil, fmt.Errorf("bad net partition count %q", f)
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}

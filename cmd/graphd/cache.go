@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// cacheKey identifies one partitioning the daemon has materialised.
+type cacheKey struct {
+	family string
+	p      int
+}
+
+// cacheEntry holds everything derived from one (family, p) partitioning:
+// the assignment, its quality metrics, and a reusable engine. The once
+// gate means concurrent first requests compute the partitioning exactly
+// once; engMu serialises engine runs (an Engine must not run concurrently)
+// while leaving different entries free to run in parallel.
+type cacheEntry struct {
+	once sync.Once
+	err  error
+
+	a       *partition.Assignment
+	metrics partition.Metrics
+
+	engMu sync.Mutex
+	eng   *engine.Engine
+}
+
+// partitionCache lazily materialises and retains partitionings per
+// (family, p). Entries are never evicted: the reachable key space (families
+// x sane p values) is small and each entry is a partitioning the daemon
+// exists to serve.
+type partitionCache struct {
+	g    *graph.Graph
+	seed uint64
+
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+func newPartitionCache(g *graph.Graph, seed uint64) *partitionCache {
+	return &partitionCache{g: g, seed: seed, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// maxP bounds requested partition counts: beyond this the daemon refuses
+// rather than materialise degenerate partitionings.
+const maxP = 256
+
+// families returns the registered partitioner family names, sorted.
+func (c *partitionCache) families() []string {
+	parts := graphpart.AllPartitioners(c.seed)
+	names := make([]string, 0, len(parts))
+	for name := range parts {
+		names = append(names, name) //lint:ignore GL001 sorted on the next line
+	}
+	sort.Strings(names)
+	return names
+}
+
+// get returns the materialised entry for (family, p), computing it on first
+// use. Concurrent callers for one key share a single computation.
+func (c *partitionCache) get(family string, p int) (*cacheEntry, error) {
+	if p < 2 || p > maxP {
+		return nil, fmt.Errorf("p=%d out of range [2,%d]", p, maxP)
+	}
+	key := cacheKey{family: family, p: p}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		// A fresh partitioner instance per fill: registry partitioners are
+		// seeded and stateful, so sharing one across fills could race.
+		pr, ok := graphpart.AllPartitioners(c.seed)[family]
+		if !ok {
+			e.err = fmt.Errorf("unknown partitioner family %q", family)
+			return
+		}
+		a, err := pr.Partition(c.g, p)
+		if err != nil {
+			e.err = fmt.Errorf("partition %s/p=%d: %w", family, p, err)
+			return
+		}
+		m, err := partition.Compute(c.g, a)
+		if err != nil {
+			e.err = fmt.Errorf("metrics %s/p=%d: %w", family, p, err)
+			return
+		}
+		eng, err := engine.New(c.g, a)
+		if err != nil {
+			e.err = fmt.Errorf("engine %s/p=%d: %w", family, p, err)
+			return
+		}
+		e.a, e.metrics, e.eng = a, m, eng
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// size reports how many partitionings are currently materialised.
+func (c *partitionCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,133 @@
+// Command graphd serves a loaded graph dataset as a partition daemon: it
+// generates (or loads) one graph at startup, then answers concurrent
+// HTTP/JSON requests for partition lookups, quality metrics, and full
+// engine runs (PageRank, connected components, SSSP) over in-memory or real
+// TCP transports. Partitionings are computed once per (family, p) and
+// cached; every request is traced through internal/obs and the /metrics
+// endpoint exposes the telemetry registry as JSON.
+//
+// Usage:
+//
+//	graphd                              # serve G1 on 127.0.0.1:8090
+//	graphd -dataset G3 -quick           # ~10% scale analogue of G3
+//	graphd -file graph.txt -addr :9000  # serve an edge-list file
+//	graphd -telemetry                   # enable span/metric recording
+//
+// Endpoints (see README "Serving partitions with graphd" for examples):
+//
+//	GET  /healthz      liveness
+//	GET  /dataset      the served graph's shape
+//	GET  /families     registered partitioner families
+//	GET  /partition    ?family=tlp&p=8 plus edge= or vertex= lookups
+//	GET  /stats        ?family=tlp&p=8 partition quality metrics
+//	POST /run          {"program":"pagerank","family":"tlp","p":8,...}
+//	GET  /metrics      obs metrics registry snapshot
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphd:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownGrace bounds how long a stopping daemon waits for in-flight
+// requests before closing their connections.
+const shutdownGrace = 10 * time.Second
+
+// run is the testable daemon body: parse flags, load the graph, serve until
+// ctx is cancelled, then shut down gracefully (in-flight requests drain).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	dataset := fs.String("dataset", "G1", "dataset notation G1..G9 to generate and serve")
+	quick := fs.Bool("quick", false, "generate the ~10% scale analogue of the dataset")
+	file := fs.String("file", "", "serve an edge-list file instead of a generated dataset")
+	seed := fs.Uint64("seed", 42, "seed for dataset generation and partitioners")
+	telemetry := fs.Bool("telemetry", false, "enable obs span/metric recording")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *telemetry {
+		obs.Enable()
+	}
+
+	g, desc, err := loadGraph(*file, *dataset, *quick, *seed)
+	if err != nil {
+		return err
+	}
+	s := newServer(g, desc, *seed)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(out, "graphd: serving %s (|V|=%d |E|=%d) on http://%s\n",
+		desc, g.NumVertices(), g.NumEdges(), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "graphd: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadGraph resolves the served graph: an edge-list file when given,
+// otherwise the (optionally quick-scaled) generated dataset analogue.
+func loadGraph(file, dataset string, quick bool, seed uint64) (*graph.Graph, string, error) {
+	if file != "" {
+		g, _, err := graphpart.LoadEdgeList(file)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, file, nil
+	}
+	pool := gen.Datasets()
+	want := dataset
+	if quick {
+		// SmallDatasets suffixes notations with "s"; accept plain G1..G9.
+		pool = gen.SmallDatasets()
+		want = dataset + "s"
+	}
+	for _, d := range pool {
+		if d.Notation == dataset || d.Notation == want {
+			return d.Generate(seed), d.String(), nil
+		}
+	}
+	return nil, "", fmt.Errorf("unknown dataset %q (want G1..G9)", dataset)
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port and releases it for the test to reuse.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the daemon answers.
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s never became healthy", addr)
+}
+
+// TestRunLifecycle boots the real daemon via run() on a quick dataset,
+// serves a request, then cancels the context and requires a clean exit.
+func TestRunLifecycle(t *testing.T) {
+	addr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", addr, "-dataset", "G1", "-quick", "-seed", "7"}, &out)
+	}()
+	waitHealthy(t, addr)
+
+	resp, err := http.Get("http://" + addr + "/dataset")
+	if err != nil {
+		t.Fatalf("GET /dataset: %v", err)
+	}
+	var ds map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if ds["edges"].(float64) <= 0 {
+		t.Fatalf("served dataset has no edges: %v", ds)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("shutdown was not announced; output: %q", out.String())
+	}
+}
+
+// TestRunPortInUse checks the daemon reports a bind failure as a startup
+// error instead of serving nothing.
+func TestRunPortInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("occupy port: %v", err)
+	}
+	defer ln.Close()
+	err = run(context.Background(), []string{"-addr", ln.Addr().String(), "-dataset", "G1", "-quick"}, io.Discard)
+	if err == nil {
+		t.Fatal("run succeeded on an occupied port")
+	}
+	if !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("error %q does not mention the listen failure", err)
+	}
+}
+
+// TestRunBadFlags checks flag and dataset validation fail fast.
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-dataset", "G99"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unknown dataset")
+	}
+	if err := run(context.Background(), []string{"-nosuchflag"}, io.Discard); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run(context.Background(), []string{"-file", "/nonexistent/graph.txt"}, io.Discard); err == nil {
+		t.Fatal("run accepted a missing edge-list file")
+	}
+}
+
+// TestShutdownDrainsInFlight holds a /run request in-flight via the server
+// test hook, starts a graceful shutdown, and verifies (a) the shutdown
+// waits for the response to finish and (b) the response completes with 200.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s := newServer(testGraph(5, 120, 360), "test-graph", 42)
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	s.testHook = func() {
+		close(inHandler)
+		<-release
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+
+	var mu sync.Mutex
+	var status int
+	var reqErr error
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		body := strings.NewReader(`{"program":"components","family":"tlp","p":2,"transport":"mem"}`)
+		resp, err := http.Post(fmt.Sprintf("http://%s/run", ln.Addr()), "application/json", body)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			reqErr = err
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		status = resp.StatusCode
+	}()
+	<-inHandler // the request is now in-flight inside the handler
+
+	shutdownDone := make(chan error, 1)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(sctx) }()
+
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a request was still in-flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown never returned after the request drained")
+	}
+	<-reqDone
+	mu.Lock()
+	defer mu.Unlock()
+	if reqErr != nil {
+		t.Fatalf("in-flight request failed during graceful shutdown: %v", reqErr)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("in-flight request finished with status %d, want 200", status)
+	}
+}

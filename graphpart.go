@@ -32,6 +32,7 @@ import (
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
 	"github.com/graphpart/graphpart/internal/refine"
+	"github.com/graphpart/graphpart/internal/wire"
 )
 
 // Graph is an immutable simple undirected graph in CSR form.
@@ -179,6 +180,28 @@ type MemTransport = engine.MemTransport
 
 // NewMemTransport returns an in-process transport for p machines.
 func NewMemTransport(p int) *MemTransport { return engine.NewMemTransport(p) }
+
+// TCPTransport is the Transport implementation that moves engine messages
+// over real TCP sockets using the deterministic wire codec. Runs over it
+// are bit-identical to MemTransport and RunSequential.
+type TCPTransport = wire.TCPTransport
+
+// NewTCPTransport builds a loopback TCP mesh hosting all p machines in this
+// process. The caller must Close it after the run.
+func NewTCPTransport(p int) (*TCPTransport, error) { return wire.NewTCPTransport(p) }
+
+// RunCluster executes a vertex program with one OS process per machine,
+// communicating over TCP. The returned values and stats are bit-identical
+// to RunSequential and to an in-process engine run. The current binary must
+// call MaybeWorker early in main for re-exec workers to take over.
+func RunCluster(g *Graph, a *Assignment, prog Program, maxSupersteps int) ([]float64, EngineStats, error) {
+	return wire.RunCluster(g, a, prog, maxSupersteps, nil)
+}
+
+// MaybeWorker checks whether this process was spawned as a RunCluster
+// machine worker; if so it runs the worker to completion and returns true,
+// and the caller must exit immediately without doing anything else.
+func MaybeWorker() bool { return wire.MaybeWorker() }
 
 // TrafficMatrix is the per-link p x p traffic of an engine run.
 type TrafficMatrix = engine.TrafficMatrix

@@ -107,8 +107,10 @@ func baseIdent(expr ast.Expr) *ast.Ident {
 // seeded SplitMix64/xoshiro generator so that runs are reproducible across
 // machines and Go versions, and wall-clock time must never influence an
 // algorithm. Only internal/rng may import math/rand (it wraps the seeded
-// generator), and only internal/obs (the sanctioned clock seam) and
-// cmd/benchsnap (which timestamps benchmark snapshots) may call time.Now.
+// generator), and only three packages may call time.Now: internal/obs (the
+// sanctioned clock seam), cmd/benchsnap (which timestamps benchmark
+// snapshots), and internal/wire (net.Conn deadlines compare against the
+// kernel's wall clock, so an injected obs.Clock would hang socket I/O).
 // Elapsed-time measurement everywhere else goes through obs.StartWatch,
 // which respects the injectable obs.Clock.
 // ---------------------------------------------------------------------------
@@ -125,7 +127,7 @@ func checkGL002(pkg *Package, r *reporter) {
 			}
 		}
 	}
-	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") || pkg.isAt("internal/wire") {
 		return
 	}
 	inspectFiles(pkg, func(n ast.Node) bool {
@@ -136,7 +138,7 @@ func checkGL002(pkg *Package, r *reporter) {
 		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
 			r.report(sel.Pos(), "GL002",
-				"time.Now outside internal/obs and cmd/benchsnap: wall-clock must not influence results; measure elapsed time with obs.StartWatch")
+				"time.Now outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire): wall-clock must not influence results; measure elapsed time with obs.StartWatch")
 		}
 		return true
 	})
@@ -372,15 +374,19 @@ func badValueType(t types.Type) string {
 // every timing path injectable (deterministic tests swap in a step clock),
 // and its Stopwatch is the one elapsed-time primitive. Direct calls to
 // time.Now / time.Since / time.Until anywhere else — library code, mains,
-// examples — bypass the seam and fragment timing behaviour. cmd/benchsnap
-// is exempt for its snapshot timestamp (the one legitimate "what time is
-// it" read in the module). GL002 separately flags time.Now as a
+// examples — bypass the seam and fragment timing behaviour. Two packages
+// are exempt besides the seam: cmd/benchsnap for its snapshot timestamp
+// (the one legitimate "what time is it" read in the module), and
+// internal/wire for net.Conn deadline arming — socket deadlines are
+// compared against the kernel's wall clock by the runtime poller, so a
+// deadline computed from an injected obs.Clock would hang (or instantly
+// expire) real socket I/O. GL002 separately flags time.Now as a
 // nondeterminism source; GL007 covers the derived helpers and enforces the
 // seam itself.
 // ---------------------------------------------------------------------------
 
 func checkGL007(pkg *Package, r *reporter) {
-	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") || pkg.isAt("internal/wire") {
 		return
 	}
 	wallClock := map[string]bool{"Now": true, "Since": true, "Until": true}
@@ -392,7 +398,7 @@ func checkGL007(pkg *Package, r *reporter) {
 		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClock[fn.Name()] {
 			r.report(sel.Pos(), "GL007",
-				"time.%s outside internal/obs: route timing through the obs clock seam (obs.StartWatch / obs.Now)", fn.Name())
+				"time.%s outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire): route timing through the obs clock seam (obs.StartWatch / obs.Now)", fn.Name())
 		}
 		return true
 	})

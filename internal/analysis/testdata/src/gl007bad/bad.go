@@ -15,3 +15,17 @@ func Elapsed(start time.Time) float64 {
 func Remaining(deadline time.Time) time.Duration {
 	return time.Until(deadline) // want GL007
 }
+
+// ArmDeadline arms a socket deadline from the wall clock. This exact
+// construct is exempt inside internal/wire (see the gl007wire snippet) but
+// flagged everywhere else: time.Now draws both the GL002 nondeterminism
+// diagnostic and the GL007 clock-seam diagnostic.
+func ArmDeadline(c Conn, d time.Duration) error {
+	return c.SetDeadline(time.Now().Add(d)) // want GL002 GL007
+}
+
+// Conn is the deadline-bearing slice of net.Conn, declared locally so the
+// snippet does not need the net import.
+type Conn interface {
+	SetDeadline(t time.Time) error
+}

@@ -1,0 +1,18 @@
+// Package gl007wire mirrors internal/wire's socket-deadline helper: the one
+// wall-clock read the obs seam cannot serve. net.Conn deadlines are compared
+// against the kernel's wall clock by the runtime poller, so a deadline
+// computed from an injected obs.Clock would hang (or instantly expire) real
+// socket I/O. The corpus checks this package under the internal/wire import
+// path, where GL002 and GL007 exempt it; the identical construct is flagged
+// under any other path (see gl007bad.ArmDeadline).
+package gl007wire
+
+import (
+	"net"
+	"time"
+)
+
+// armDeadline bounds a blocking socket operation against the kernel clock.
+func armDeadline(c net.Conn, d time.Duration) error {
+	return c.SetDeadline(time.Now().Add(d))
+}

@@ -1,0 +1,18 @@
+package engine_test
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/engine/transporttest"
+)
+
+// TestMemTransportConformance runs the shared transport contract suite
+// against the in-memory reference implementation. The TCP transport runs
+// the identical suite (internal/wire); the suite is the single statement of
+// the delivery contract both must satisfy.
+func TestMemTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, p int) engine.Transport {
+		return engine.NewMemTransport(p)
+	})
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/graphpart/graphpart/internal/engine"
+)
+
+// Message payload encodings (all integers big-endian, floats as IEEE 754
+// bit patterns). Payload sizes equal engine.Message.WireSize() exactly —
+// the in-memory transport's byte accounting is the payload; the framed
+// size adds the constant FrameHeaderSize per message.
+//
+//	GatherFlush    u32 masterLocal | u32 count | count x (u32 slot, u64 valueBits)
+//	ApplyBroadcast u32 mirrorLocal | u64 valueBits | u8 flags (bit0 changed, bit1 active)
+//	Activate       u32 local
+//
+// The encoding is canonical: for every byte slice that decodes, re-encoding
+// the decoded message reproduces the input bit for bit (FuzzWireRoundTrip
+// asserts this). That is what makes framed wire bytes a deterministic
+// function of a run.
+
+// applyFlagChanged and applyFlagActive are the ApplyBroadcast flag bits;
+// the remaining bits must be zero (canonical encoding).
+const (
+	applyFlagChanged = 1 << 0
+	applyFlagActive  = 1 << 1
+)
+
+// FramedSize returns the exact bytes m occupies on a wire link: the payload
+// (m.WireSize()) plus the frame header.
+func FramedSize(m engine.Message) int { return FrameHeaderSize + m.WireSize() }
+
+// AppendMessage appends m as one complete frame to buf and returns the
+// extended slice.
+func AppendMessage(buf []byte, m engine.Message) []byte {
+	switch m := m.(type) {
+	case *engine.GatherFlush:
+		buf = appendFrameHeader(buf, frameGather, m.WireSize())
+		buf = binary.BigEndian.AppendUint32(buf, uint32(m.MasterLocal))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Contribs)))
+		for i, c := range m.Contribs {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(m.Slots[i]))
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+		return buf
+	case *engine.ApplyBroadcast:
+		buf = appendFrameHeader(buf, frameApply, m.WireSize())
+		buf = binary.BigEndian.AppendUint32(buf, uint32(m.MirrorLocal))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Value))
+		var flags byte
+		if m.Changed {
+			flags |= applyFlagChanged
+		}
+		if m.Active {
+			flags |= applyFlagActive
+		}
+		return append(buf, flags)
+	case *engine.Activate:
+		buf = appendFrameHeader(buf, frameActivate, m.WireSize())
+		return binary.BigEndian.AppendUint32(buf, uint32(m.Local))
+	default:
+		// The three kinds above are the complete engine message set; a new
+		// kind must extend the codec before it can cross a wire transport.
+		panic("wire: unknown message type")
+	}
+}
+
+// DecodeMessage decodes the payload of a data frame of the given kind. The
+// returned message owns its memory (nothing aliases payload). off is the
+// stream offset of the frame, used to locate errors.
+func DecodeMessage(kind byte, payload []byte, off int64) (engine.Message, error) {
+	switch kind {
+	case frameGather:
+		if len(payload) < 8 {
+			return nil, frameErrorf(off, "gather payload %d bytes, want at least 8", len(payload))
+		}
+		count := binary.BigEndian.Uint32(payload[4:8])
+		want := 8 + 12*int64(count)
+		if int64(len(payload)) != want {
+			return nil, frameErrorf(off, "gather payload %d bytes does not match count %d (want %d)",
+				len(payload), count, want)
+		}
+		m := &engine.GatherFlush{
+			MasterLocal: int32(binary.BigEndian.Uint32(payload[0:4])),
+			Slots:       make([]int32, count),
+			Contribs:    make([]float64, count),
+		}
+		for i := uint32(0); i < count; i++ {
+			p := payload[8+12*i:]
+			m.Slots[i] = int32(binary.BigEndian.Uint32(p[0:4]))
+			m.Contribs[i] = math.Float64frombits(binary.BigEndian.Uint64(p[4:12]))
+		}
+		return m, nil
+	case frameApply:
+		if len(payload) != 13 {
+			return nil, frameErrorf(off, "apply payload %d bytes, want 13", len(payload))
+		}
+		flags := payload[12]
+		if flags&^(applyFlagChanged|applyFlagActive) != 0 {
+			return nil, frameErrorf(off, "apply flags byte %#02x has undefined bits set", flags)
+		}
+		return &engine.ApplyBroadcast{
+			MirrorLocal: int32(binary.BigEndian.Uint32(payload[0:4])),
+			Value:       math.Float64frombits(binary.BigEndian.Uint64(payload[4:12])),
+			Changed:     flags&applyFlagChanged != 0,
+			Active:      flags&applyFlagActive != 0,
+		}, nil
+	case frameActivate:
+		if len(payload) != 4 {
+			return nil, frameErrorf(off, "activate payload %d bytes, want 4", len(payload))
+		}
+		return &engine.Activate{Local: int32(binary.BigEndian.Uint32(payload))}, nil
+	default:
+		return nil, frameErrorf(off, "unknown data frame kind %#02x", kind)
+	}
+}
