@@ -10,6 +10,7 @@
 //	benchsnap -quick -out /tmp/b.json  # ~10% scale datasets, seconds
 //	benchsnap -datasets G1,G2 -ps 10   # restrict the grid
 //	benchsnap -net                     # Mem-vs-TCP probe -> BENCH_net.json
+//	benchsnap -refine                  # refinement probe -> BENCH_refine.json
 //
 // Cells run strictly sequentially so per-cell seconds and allocation deltas
 // are not distorted by concurrent cells. The snapshot additionally times the
@@ -120,6 +121,11 @@ func run(args []string, logw io.Writer) error {
 		netOut     = fs.String("net-out", "BENCH_net.json", "output JSON path for the -net probe")
 		netDataset = fs.String("net-dataset", "G1", "dataset notation for the -net probe")
 		netPs      = fs.String("net-ps", "2,8", "comma-separated partition counts for the -net probe")
+
+		refineFlag     = fs.Bool("refine", false, "run only the refinement probe (move/swap local search over the Fig. 8 roster) and write -refine-out")
+		refineOut      = fs.String("refine-out", "BENCH_refine.json", "output JSON path for the -refine probe")
+		refineDatasets = fs.String("refine-datasets", "G1,G2,G3", "comma-separated dataset notations for the -refine probe")
+		refineP        = fs.Int("refine-p", 10, "partition count for the -refine probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +145,25 @@ func run(args []string, logw io.Writer) error {
 			return err
 		}
 		return runNetProbe(*netDataset, *seed, ps, *netOut, logw)
+	}
+	if *refineFlag {
+		var probe []gen.Dataset
+		all := append(gen.Datasets(), gen.SmallDatasets()...)
+		for _, want := range strings.Split(*refineDatasets, ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, d := range all {
+				if d.Notation == want {
+					probe = append(probe, d)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown refine dataset %q", want)
+			}
+		}
+		return runRefineProbe(probe, *seed, *refineP, *refineOut, logw)
 	}
 
 	datasets := gen.Datasets()

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/refine"
+	"github.com/graphpart/graphpart/internal/streaming"
+)
+
+// RefineCell is one sequentially-measured (dataset, algorithm) entry of the
+// refinement probe: partition wall-clock plus the refinement pass's cost and
+// the quality it bought.
+type RefineCell struct {
+	Dataset          string  `json:"dataset"`
+	Algorithm        string  `json:"algorithm"`
+	P                int     `json:"p"`
+	PartitionSeconds float64 `json:"partition_seconds"`
+	RefineSeconds    float64 `json:"refine_seconds"`
+	RFBefore         float64 `json:"rf_before"`
+	RFAfter          float64 `json:"rf_after"`
+	BalanceBefore    float64 `json:"balance_before"`
+	BalanceAfter     float64 `json:"balance_after"`
+	Passes           int     `json:"passes"`
+	Moves            int     `json:"moves"`
+	Swaps            int     `json:"swaps"`
+	ReplicasRemoved  int     `json:"replicas_removed"`
+}
+
+// RefineSweepRun is one worker count of the refinement worker sweep: its
+// wall-clock and the FNV-1a hash of the refined assignment — equal hashes
+// across the sweep prove the parallel candidate scoring is invisible in the
+// output.
+type RefineSweepRun struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	RefinedHash string  `json:"refined_hash"`
+}
+
+// RefineSnapshot is the BENCH_refine.json document: the per-family grid of
+// refinement cost/benefit plus the worker sweep on one cell.
+type RefineSnapshot struct {
+	GOOS            string           `json:"goos"`
+	GOARCH          string           `json:"goarch"`
+	NumCPU          int              `json:"num_cpu"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	GoVersion       string           `json:"go_version"`
+	Seed            uint64           `json:"seed"`
+	P               int              `json:"p"`
+	GeneratedAt     string           `json:"generated_at"`
+	Cells           []RefineCell     `json:"cells"`
+	SweepDataset    string           `json:"sweep_dataset"`
+	SweepAlgorithm  string           `json:"sweep_algorithm"`
+	Sweep           []RefineSweepRun `json:"sweep"`
+	WorkerInvariant bool             `json:"worker_invariant"`
+}
+
+// runRefineProbe measures the move/swap refiner over the Fig. 8 roster on
+// the requested datasets and sweeps worker counts {1,2,4,8} on a Random
+// partitioning of the first dataset (the cell with the most headroom, so
+// sweep seconds measure real work).
+func runRefineProbe(datasets []gen.Dataset, seed uint64, p int, out string, logw io.Writer) error {
+	snap := RefineSnapshot{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		P:           p,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Fprintf(logw, "refine probe: %d datasets, p=%d (seed %d)...\n", len(datasets), p, seed)
+	built := harnessGraphs(datasets, seed)
+	for _, d := range datasets {
+		g := built[d.Notation]
+		algs := harness.Algorithms(seed)
+		for ai := range algs {
+			alg := harness.Algorithms(seed)[ai]
+			start := time.Now()
+			a, err := alg.Partition(g, p)
+			partSecs := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("refine probe: %s on %s p=%d: %w", alg.Name(), d.Notation, p, err)
+			}
+			start = time.Now()
+			stats, err := refine.Run(g, a, refine.Options{})
+			refSecs := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("refine probe: refining %s on %s: %w", alg.Name(), d.Notation, err)
+			}
+			snap.Cells = append(snap.Cells, RefineCell{
+				Dataset:          d.Notation,
+				Algorithm:        alg.Name(),
+				P:                p,
+				PartitionSeconds: partSecs,
+				RefineSeconds:    refSecs,
+				RFBefore:         stats.RFBefore,
+				RFAfter:          stats.RFAfter,
+				BalanceBefore:    stats.BalanceBefore,
+				BalanceAfter:     stats.BalanceAfter,
+				Passes:           stats.Passes,
+				Moves:            stats.Moves,
+				Swaps:            stats.Swaps,
+				ReplicasRemoved:  stats.ReplicasRemoved,
+			})
+			fmt.Fprintf(logw, "%s %s p=%d: refine %.3fs RF %.3f -> %.3f\n",
+				d.Notation, alg.Name(), p, refSecs, stats.RFBefore, stats.RFAfter)
+		}
+	}
+
+	snap.SweepDataset = datasets[0].Notation
+	snap.SweepAlgorithm = "Random"
+	g := built[snap.SweepDataset]
+	base, err := streaming.NewRandom(seed).Partition(g, p)
+	if err != nil {
+		return fmt.Errorf("refine probe sweep: %w", err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		a := base.Clone()
+		start := time.Now()
+		if _, err := refine.Run(g, a, refine.Options{Workers: w}); err != nil {
+			return fmt.Errorf("refine probe sweep workers=%d: %w", w, err)
+		}
+		run := RefineSweepRun{
+			Workers:     w,
+			Seconds:     time.Since(start).Seconds(),
+			RefinedHash: fmt.Sprintf("%016x", stage1Hash(a)),
+		}
+		snap.Sweep = append(snap.Sweep, run)
+		fmt.Fprintf(logw, "  sweep workers=%d: %.4fs hash %s\n", run.Workers, run.Seconds, run.RefinedHash)
+	}
+	snap.WorkerInvariant = true
+	for _, r := range snap.Sweep[1:] {
+		if r.RefinedHash != snap.Sweep[0].RefinedHash {
+			snap.WorkerInvariant = false
+		}
+	}
+	if err := writeJSON(out, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "wrote %s (%d cells, worker-invariant: %v)\n", out, len(snap.Cells), snap.WorkerInvariant)
+	return nil
+}

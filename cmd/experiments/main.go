@@ -10,7 +10,8 @@
 //
 // Experiments: table3, fig8, table4, fig9 (p=10), fig10 (p=15),
 // fig11 (p=20), table6, timing, ablation, window (TLP-SW window-size
-// sweep), engine (share-nothing GAS runtime communication comparison), all.
+// sweep), engine (share-nothing GAS runtime communication comparison),
+// refine (move/swap local-search refinement on top of every family), all.
 //
 // Grid cells (and dataset generations) run concurrently on a bounded worker
 // pool; output is identical for any worker count. The pool size comes from
@@ -42,7 +43,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|engine|all")
+		exp      = flag.String("exp", "all", "experiment: table3|fig8|table4|fig9|fig10|fig11|table6|timing|ablation|window|engine|refine|all")
 		seed     = flag.Uint64("seed", 42, "random seed for datasets and algorithms")
 		csv      = flag.String("csv", "", "directory for CSV output (optional)")
 		quick    = flag.Bool("quick", false, "use ~10% scale datasets (seconds instead of minutes)")
@@ -111,7 +112,7 @@ func run() error {
 	case "table3":
 		return nil
 	case "fig8", "table4", "all":
-	case "fig9", "fig10", "fig11", "table6", "timing", "ablation", "window", "engine":
+	case "fig9", "fig10", "fig11", "table6", "timing", "ablation", "window", "engine", "refine":
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -193,6 +194,13 @@ func run() error {
 	if *exp == "engine" || *exp == "all" {
 		if err := timed("engine", func() error {
 			return harness.RunEngineComparison(cfg, graphs, tp)
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "refine" || *exp == "all" {
+		if err := timed("refine", func() error {
+			return harness.RunRefineAblation(cfg, graphs, tp)
 		}); err != nil {
 			return err
 		}

@@ -9,12 +9,15 @@ import (
 	"github.com/graphpart/graphpart/internal/engine"
 	"github.com/graphpart/graphpart/internal/graph"
 	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/refine"
 )
 
-// cacheKey identifies one partitioning the daemon has materialised.
+// cacheKey identifies one partitioning the daemon has materialised; refined
+// and unrefined variants of a family are distinct entries.
 type cacheKey struct {
 	family string
 	p      int
+	refine bool
 }
 
 // cacheEntry holds everything derived from one (family, p) partitioning:
@@ -28,6 +31,7 @@ type cacheEntry struct {
 
 	a       *partition.Assignment
 	metrics partition.Metrics
+	refined refine.Stats // zero unless the entry was refined
 
 	engMu sync.Mutex
 	eng   *engine.Engine
@@ -64,13 +68,13 @@ func (c *partitionCache) families() []string {
 	return names
 }
 
-// get returns the materialised entry for (family, p), computing it on first
-// use. Concurrent callers for one key share a single computation.
-func (c *partitionCache) get(family string, p int) (*cacheEntry, error) {
+// get returns the materialised entry for (family, p, refineAfter), computing
+// it on first use. Concurrent callers for one key share a single computation.
+func (c *partitionCache) get(family string, p int, refineAfter bool) (*cacheEntry, error) {
 	if p < 2 || p > maxP {
 		return nil, fmt.Errorf("p=%d out of range [2,%d]", p, maxP)
 	}
-	key := cacheKey{family: family, p: p}
+	key := cacheKey{family: family, p: p, refine: refineAfter}
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -90,6 +94,14 @@ func (c *partitionCache) get(family string, p int) (*cacheEntry, error) {
 		if err != nil {
 			e.err = fmt.Errorf("partition %s/p=%d: %w", family, p, err)
 			return
+		}
+		if refineAfter {
+			rs, err := refine.Run(c.g, a, refine.Options{})
+			if err != nil {
+				e.err = fmt.Errorf("refine %s/p=%d: %w", family, p, err)
+				return
+			}
+			e.refined = rs
 		}
 		m, err := partition.Compute(c.g, a)
 		if err != nil {

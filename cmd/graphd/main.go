@@ -3,8 +3,10 @@
 // HTTP/JSON requests for partition lookups, quality metrics, and full
 // engine runs (PageRank, connected components, SSSP) over in-memory or real
 // TCP transports. Partitionings are computed once per (family, p) and
-// cached; every request is traced through internal/obs and the /metrics
-// endpoint exposes the telemetry registry as JSON.
+// cached — adding refine=true to a request serves a separate entry
+// post-processed by the move/swap local-search refiner; every request is
+// traced through internal/obs and the /metrics endpoint exposes the
+// telemetry registry as JSON.
 //
 // Usage:
 //
@@ -18,9 +20,9 @@
 //	GET  /healthz      liveness
 //	GET  /dataset      the served graph's shape
 //	GET  /families     registered partitioner families
-//	GET  /partition    ?family=tlp&p=8 plus edge= or vertex= lookups
-//	GET  /stats        ?family=tlp&p=8 partition quality metrics
-//	POST /run          {"program":"pagerank","family":"tlp","p":8,...}
+//	GET  /partition    ?family=tlp&p=8&refine=true plus edge=/vertex= lookups
+//	GET  /stats        ?family=tlp&p=8&refine=true partition quality metrics
+//	POST /run          {"program":"pagerank","family":"tlp","p":8,"refine":true,...}
 //	GET  /metrics      obs metrics registry snapshot
 package main
 

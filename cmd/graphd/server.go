@@ -116,9 +116,9 @@ func (s *server) handleFamilies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"families": s.cache.families()})
 }
 
-// familyP parses the family and p query parameters shared by /partition and
-// /stats and resolves the cache entry.
-func (s *server) familyP(w http.ResponseWriter, r *http.Request) (*cacheEntry, string, int, bool) {
+// familyP parses the family, p and refine query parameters shared by
+// /partition and /stats and resolves the cache entry.
+func (s *server) familyP(w http.ResponseWriter, r *http.Request) (*cacheEntry, string, int, bool, bool) {
 	family := r.URL.Query().Get("family")
 	if family == "" {
 		family = "tlp"
@@ -128,24 +128,33 @@ func (s *server) familyP(w http.ResponseWriter, r *http.Request) (*cacheEntry, s
 		v, err := strconv.Atoi(ps)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad p %q: %v", ps, err)
-			return nil, "", 0, false
+			return nil, "", 0, false, false
 		}
 		p = v
 	}
-	e, err := s.cache.get(family, p)
+	refineAfter := false
+	if rs := r.URL.Query().Get("refine"); rs != "" {
+		v, err := strconv.ParseBool(rs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad refine %q: %v", rs, err)
+			return nil, "", 0, false, false
+		}
+		refineAfter = v
+	}
+	e, err := s.cache.get(family, p, refineAfter)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil, "", 0, false
+		return nil, "", 0, false, false
 	}
-	return e, family, p, true
+	return e, family, p, refineAfter, true
 }
 
 func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
-	e, family, p, ok := s.familyP(w, r)
+	e, family, p, refined, ok := s.familyP(w, r)
 	if !ok {
 		return
 	}
-	resp := map[string]any{"family": family, "p": p, "seed": s.seed}
+	resp := map[string]any{"family": family, "p": p, "seed": s.seed, "refine": refined}
 	q := r.URL.Query()
 	switch {
 	case q.Get("edge") != "":
@@ -192,15 +201,16 @@ func vertexPartitions(g *graph.Graph, e *cacheEntry, v graph.Vertex) []int {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	e, family, p, ok := s.familyP(w, r)
+	e, family, p, refined, ok := s.familyP(w, r)
 	if !ok {
 		return
 	}
 	m := e.metrics
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"family":             family,
 		"p":                  p,
 		"seed":               s.seed,
+		"refine":             refined,
 		"replication_factor": m.ReplicationFactor,
 		"balance":            m.Balance,
 		"max_load":           m.MaxLoad,
@@ -208,7 +218,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"spanned_vertices":   m.SpannedVertices,
 		"total_replicas":     m.TotalReplicas,
 		"loads":              e.a.Loads(),
-	})
+	}
+	if refined {
+		resp["refine_stats"] = map[string]any{
+			"passes":           e.refined.Passes,
+			"moves":            e.refined.Moves,
+			"swaps":            e.refined.Swaps,
+			"replicas_removed": e.refined.ReplicasRemoved,
+			"rf_before":        e.refined.RFBefore,
+			"rf_after":         e.refined.RFAfter,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runRequest is the /run request body.
@@ -216,6 +237,7 @@ type runRequest struct {
 	Program          string  `json:"program"`
 	Family           string  `json:"family"`
 	P                int     `json:"p"`
+	Refine           bool    `json:"refine"`
 	MaxSupersteps    int     `json:"max_supersteps"`
 	Damping          float64 `json:"damping"`
 	Tolerance        float64 `json:"tolerance"`
@@ -258,7 +280,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	e, err := s.cache.get(req.Family, req.P)
+	e, err := s.cache.get(req.Family, req.P, req.Refine)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -309,6 +331,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		"program":            prog.Name(),
 		"family":             req.Family,
 		"p":                  req.P,
+		"refine":             req.Refine,
 		"seed":               s.seed,
 		"transport":          transport,
 		"supersteps":         stats.Supersteps,

@@ -166,11 +166,34 @@ func TestEndpoints(t *testing.T) {
 		}
 	})
 
+	t.Run("StatsRefined", func(t *testing.T) {
+		// A refined random partitioning is a distinct cache entry whose RF
+		// must be strictly below the unrefined one on this graph.
+		base := getJSON(t, ts.URL+"/stats?family=random&p=4", http.StatusOK)
+		got := getJSON(t, ts.URL+"/stats?family=random&p=4&refine=true", http.StatusOK)
+		if got["refine"] != true || base["refine"] != false {
+			t.Fatalf("refine flags: base %v, refined %v", base["refine"], got["refine"])
+		}
+		rfBase := base["replication_factor"].(float64)
+		rfRefined := got["replication_factor"].(float64)
+		if rfRefined >= rfBase {
+			t.Fatalf("refined rf %v not below unrefined %v", rfRefined, rfBase)
+		}
+		rs := got["refine_stats"].(map[string]any)
+		if rs["rf_after"].(float64) != rfRefined {
+			t.Fatalf("refine_stats rf_after %v != served rf %v", rs["rf_after"], rfRefined)
+		}
+		if rs["replicas_removed"].(float64) < 1 {
+			t.Fatalf("refinement removed no replicas: %v", rs)
+		}
+	})
+
 	t.Run("BadRequests", func(t *testing.T) {
 		getJSON(t, ts.URL+"/partition?family=nosuch&p=4", http.StatusBadRequest)
 		getJSON(t, ts.URL+"/partition?family=tlp&p=1", http.StatusBadRequest)
 		getJSON(t, ts.URL+"/partition?family=tlp&p=4&edge=99999", http.StatusBadRequest)
 		getJSON(t, ts.URL+"/stats?family=tlp&p=notanumber", http.StatusBadRequest)
+		getJSON(t, ts.URL+"/stats?family=tlp&p=4&refine=maybe", http.StatusBadRequest)
 		postJSON(t, ts.URL+"/run", map[string]any{"program": "nosuch"}, http.StatusBadRequest)
 		postJSON(t, ts.URL+"/run", map[string]any{"transport": "carrier-pigeon"}, http.StatusBadRequest)
 		postJSON(t, ts.URL+"/run", map[string]any{"max_supersteps": -1}, http.StatusBadRequest)
@@ -213,6 +236,30 @@ func TestRunEndpoint(t *testing.T) {
 				t.Fatalf("mem run reported %v control bytes", cb)
 			}
 		})
+	}
+}
+
+// TestRunRefinedMovesFewerMessages checks the /run refine option end to end:
+// the refined entry must execute the same program with strictly fewer
+// synchronisation messages than the unrefined one.
+func TestRunRefinedMovesFewerMessages(t *testing.T) {
+	_, ts := newTestServer(t)
+	run := func(refineFlag bool) float64 {
+		got := postJSON(t, ts.URL+"/run", map[string]any{
+			"program":        "pagerank",
+			"family":         "random",
+			"p":              4,
+			"refine":         refineFlag,
+			"max_supersteps": 8,
+		}, http.StatusOK)
+		if got["refine"] != refineFlag {
+			t.Fatalf("response refine = %v, want %v", got["refine"], refineFlag)
+		}
+		return got["messages"].(float64)
+	}
+	base, refined := run(false), run(true)
+	if refined >= base {
+		t.Fatalf("refined run moved %v messages, unrefined %v; want strictly fewer", refined, base)
 	}
 }
 

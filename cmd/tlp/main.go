@@ -148,8 +148,8 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 		if err != nil {
 			return err
 		}
-		fmt.Printf("refine: %d moves, %d edges moved, %d replicas removed\n",
-			rs.Moves, rs.EdgesMoved, rs.ReplicasRemoved)
+		fmt.Printf("refine: %d passes, %d moves (%d edges), %d swaps, %d replicas removed, RF %.4f -> %.4f\n",
+			rs.Passes, rs.Moves, rs.EdgesMoved, rs.Swaps, rs.ReplicasRemoved, rs.RFBefore, rs.RFAfter)
 	}
 
 	m, err := graphpart.ComputeMetrics(g, a)

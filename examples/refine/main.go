@@ -1,0 +1,81 @@
+// Refine: post-process partitionings with the move/swap local search and
+// show what the recovered replication factor buys at the system level —
+// the same PageRank, bit-identical ranks, fewer messages and bytes on the
+// wire (DESIGN.md §15).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	graphpart "github.com/graphpart/graphpart"
+)
+
+const (
+	p          = 10
+	supersteps = 10
+)
+
+// runPageRank executes bounded PageRank on the share-nothing engine over
+// the given assignment and returns the ranks with the traffic stats.
+func runPageRank(g *graphpart.Graph, a *graphpart.Assignment) ([]float64, graphpart.EngineStats) {
+	e, err := graphpart.NewEngine(g, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranks, stats, err := e.Run(graphpart.NewPageRank(g.NumVertices(), 0.85, 1e-9), supersteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ranks, stats
+}
+
+func main() {
+	d, err := graphpart.DatasetByNotation("G1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Generate(7)
+	fmt.Println("graph:", graphpart.ComputeGraphStats(g))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partitioner\tRF\trefined RF\tmoves\tswaps\tmsgs\trefined msgs\tbytes saved")
+	for _, c := range []struct {
+		name string
+		pt   graphpart.Partitioner
+	}{
+		{"TLP", graphpart.NewTLP(graphpart.TLPOptions{Seed: 7})},
+		{"METIS", graphpart.NewMETIS(graphpart.METISConfig{Seed: 7})},
+		{"Random", graphpart.NewRandom(7)},
+	} {
+		base, err := c.pt.Partition(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refined := base.Clone()
+		stats, err := graphpart.Refine(g, refined, graphpart.RefineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranksBefore, trafficBefore := runPageRank(g, base)
+		ranksAfter, trafficAfter := runPageRank(g, refined)
+		for v := range ranksBefore {
+			if math.Abs(ranksBefore[v]-ranksAfter[v]) > 1e-12 {
+				log.Fatalf("%s: rank %d diverged after refinement", c.name, v)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
+			c.name, stats.RFBefore, stats.RFAfter, stats.Moves, stats.Swaps,
+			trafficBefore.Messages(), trafficAfter.Messages(),
+			trafficBefore.Bytes()-trafficAfter.Bytes())
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrefinement is nearly free where TLP already consolidated, and claws")
+	fmt.Println("back a large slice of the streaming baselines' traffic — with ranks")
+	fmt.Println("that stay exactly identical, because results never depend on the cut.")
+}

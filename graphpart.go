@@ -215,18 +215,31 @@ func RunSequential(g *Graph, prog Program, maxSupersteps int) ([]float64, int, e
 	return engine.RunSequential(g, prog, maxSupersteps)
 }
 
-// RefineOptions tunes the replica-consolidation refinement pass.
+// RefineOptions tunes the move/swap local-search refinement.
 type RefineOptions = refine.Options
 
-// RefineStats reports what a refinement pass did.
+// RefineStats reports what a refinement run did.
 type RefineStats = refine.Stats
 
-// Refine post-processes a finished edge partitioning in place, migrating
-// spanned vertices' minority edge slices between their partitions whenever
-// that removes replicas without breaking the capacity. It never increases
-// the replication factor.
+// Refine post-processes a finished edge partitioning in place with move/swap
+// local search: per-vertex replica-reduction moves under the capacity bound
+// plus load-preserving boundary-edge swaps, run to convergence or a budget.
+// It never increases the replication factor, and its output is bit-identical
+// for any worker count.
 func Refine(g *Graph, a *Assignment, opts RefineOptions) (RefineStats, error) {
-	return refine.Consolidate(g, a, opts)
+	return refine.Run(g, a, opts)
+}
+
+// PartitionState is the mutable incremental view over a complete assignment
+// (per-vertex replica sets, boundary-edge index, O(1) RF deltas) that the
+// refiner searches over; exported for callers building their own local
+// optimisation or incremental maintenance on top.
+type PartitionState = partition.State
+
+// NewPartitionState builds the incremental view of a complete assignment in
+// O(n + m).
+func NewPartitionState(g *Graph, a *Assignment) (*PartitionState, error) {
+	return partition.NewState(g, a)
 }
 
 // Report is the detailed per-partition quality breakdown.

@@ -52,6 +52,7 @@ func Rules() []Rule {
 		{Code: "GL005", Doc: "exported identifier in the root package without a doc comment", check: checkGL005},
 		{Code: "GL006", Doc: "sync.Mutex, sync.RWMutex or partition.Assignment passed by value", check: checkGL006},
 		{Code: "GL007", Doc: "time.Now / time.Since / time.Until call outside the clock allowlist (obs seam, benchsnap timestamps, wire socket deadlines)", check: checkGL007},
+		{Code: "GL008", Doc: "ValidateOptions.CapacitySlack set to a capacity-disabling constant (>= 10) instead of SkipCapacity", check: checkGL008},
 	}
 }
 

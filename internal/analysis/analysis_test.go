@@ -136,6 +136,8 @@ func TestCorpus(t *testing.T) {
 		// injectable obs.Clock cannot serve them. gl007bad.ArmDeadline shows
 		// the identical construct flagged under a non-exempt path.
 		{name: "gl007wire", dir: "gl007wire", asPath: "<mod>/internal/wire"},
+		{name: "gl008bad", dir: "gl008bad", asPath: "<mod>/internal/gl008bad"},
+		{name: "gl008ok", dir: "gl008ok", asPath: "<mod>/internal/gl008ok"},
 		{name: "suppress", dir: "suppress", asPath: "<mod>/internal/suppress",
 			suppressed: map[string]int{"GL001": 1}},
 	}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"strings"
 )
@@ -402,6 +403,67 @@ func checkGL007(pkg *Package, r *reporter) {
 		}
 		return true
 	})
+}
+
+// ---------------------------------------------------------------------------
+// GL008 — capacity checks disabled via an absurd CapacitySlack.
+//
+// Before ValidateOptions.SkipCapacity existed, call sites that only needed
+// structural validation (completeness, range checks) disabled the load bound
+// by passing a slack like 1e9 — a magic number that reads as a real
+// tolerance and silently overflows the int bound computation for large
+// capacities. SkipCapacity says what it means; slacks above the threshold
+// are flagged as disablement in disguise. Genuine expectation-balanced
+// baselines use slacks in the low single digits.
+// ---------------------------------------------------------------------------
+
+// gl008MaxSlack is the largest CapacitySlack accepted as a real tolerance; a
+// constant at or above it is capacity-check disablement and must be written
+// as SkipCapacity instead.
+const gl008MaxSlack = 10
+
+func checkGL008(pkg *Package, r *reporter) {
+	inspectFiles(pkg, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(cl)
+		if t == nil || !isValidateOptions(t) {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "CapacitySlack" {
+				continue
+			}
+			tv, ok := pkg.Info.Types[kv.Value]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if slack, ok := constant.Float64Val(tv.Value); ok && slack >= gl008MaxSlack {
+				r.report(kv.Pos(), "GL008",
+					"CapacitySlack %v effectively disables the capacity check; set SkipCapacity: true instead", tv.Value)
+			}
+		}
+		return true
+	})
+}
+
+// isValidateOptions reports whether t is partition.ValidateOptions.
+func isValidateOptions(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "/internal/partition") &&
+		obj.Name() == "ValidateOptions"
 }
 
 // isAt reports whether the package lives at the module-relative path rel.

@@ -1,0 +1,20 @@
+// Package gl008bad holds GL008 violations: capacity checks disabled through
+// an absurd CapacitySlack instead of SkipCapacity.
+package gl008bad
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// CheckLoose is the pre-SkipCapacity idiom: a slack so large the load bound
+// can never fire (and whose bound computation overflows for big capacities).
+func CheckLoose(g *graph.Graph, a *partition.Assignment) error {
+	return partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1e9}) // want GL008
+}
+
+// CheckHundred disables the bound less flamboyantly; still not a tolerance.
+func CheckHundred(g *graph.Graph, a *partition.Assignment) error {
+	opts := partition.ValidateOptions{AllowUnassigned: true, CapacitySlack: 100} // want GL008
+	return partition.Validate(g, a, opts)
+}

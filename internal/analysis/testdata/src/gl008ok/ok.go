@@ -1,0 +1,19 @@
+// Package gl008ok holds the sanctioned shapes: genuine low slack for
+// expectation-balanced baselines, and SkipCapacity when the load bound is
+// not the caller's concern.
+package gl008ok
+
+import (
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+)
+
+// CheckHashing allows the modest overshoot a hashing baseline needs.
+func CheckHashing(g *graph.Graph, a *partition.Assignment) error {
+	return partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 2.0})
+}
+
+// CheckStructure validates structure only and says so.
+func CheckStructure(g *graph.Graph, a *partition.Assignment) error {
+	return partition.Validate(g, a, partition.ValidateOptions{SkipCapacity: true})
+}

@@ -63,7 +63,7 @@ func RunDistributedPageRank(g *graph.Graph, a *partition.Assignment, damping flo
 	if g == nil {
 		return nil, Stats{}, fmt.Errorf("cluster: nil graph")
 	}
-	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1e9}); err != nil {
+	if err := partition.Validate(g, a, partition.ValidateOptions{SkipCapacity: true}); err != nil {
 		return nil, Stats{}, fmt.Errorf("cluster: %w", err)
 	}
 	if damping <= 0 || damping >= 1 {

@@ -357,54 +357,10 @@ func (st *runState) absorbPrefix(v graph.Vertex, k, capC int) (assigned int, ful
 }
 
 // sweepLeftovers assigns every remaining edge to the least-loaded partition;
-// loads stay within C because total capacity covers the graph.
-//
-// A binary min-heap over (load, partition id) tracks the least-loaded
-// partition, so the sweep is O(m log p) instead of the O(m·p) an argmin scan
-// per edge costs — LiteralBreak mode can leave a constant fraction of all
-// edges to this sweep. The (load, id) order matches the scan it replaces:
-// ties on load always go to the smallest partition id.
+// loads stay within C because total capacity covers the graph. The min-heap
+// least-loaded placement itself lives in the partition-state layer
+// (partition.AssignLeftovers) — its (load, id) tie-break order matches the
+// argmin scan it historically replaced, so TLP output is unchanged.
 func sweepLeftovers(g *graph.Graph, a *partition.Assignment, stats *Stats) {
-	p := a.P()
-	load := make([]int, p)
-	ids := make([]int, p) // heap of partition ids, min (load, id) at ids[0]
-	for k := 0; k < p; k++ {
-		load[k], ids[k] = a.Load(k), k
-	}
-	less := func(x, y int) bool {
-		if load[x] != load[y] {
-			return load[x] < load[y]
-		}
-		return x < y
-	}
-	siftDown := func(i int) {
-		for {
-			m := i
-			if l := 2*i + 1; l < p && less(ids[l], ids[m]) {
-				m = l
-			}
-			if r := 2*i + 2; r < p && less(ids[r], ids[m]) {
-				m = r
-			}
-			if m == i {
-				return
-			}
-			ids[i], ids[m] = ids[m], ids[i]
-			i = m
-		}
-	}
-	for i := p/2 - 1; i >= 0; i-- {
-		siftDown(i)
-	}
-	for id := 0; id < g.NumEdges(); id++ {
-		eid := graph.EdgeID(id)
-		if a.IsAssigned(eid) {
-			continue
-		}
-		k := ids[0]
-		a.Assign(eid, k)
-		load[k]++
-		siftDown(0)
-		stats.SweptEdges++
-	}
+	stats.SweptEdges += partition.AssignLeftovers(g, a)
 }

@@ -40,7 +40,7 @@ func ablationRoster() []ablationRunner {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := refine.Consolidate(g, a, refine.Options{}); err != nil {
+			if _, err := refine.Run(g, a, refine.Options{}); err != nil {
 				return nil, err
 			}
 			return a, nil

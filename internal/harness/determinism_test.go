@@ -52,6 +52,9 @@ func runEverything(t *testing.T, workers int) (string, []Result, string) {
 	if err := RunEngineComparison(cfg, graphs, 4); err != nil {
 		t.Fatal(err)
 	}
+	if err := RunRefineAblation(cfg, graphs, 4); err != nil {
+		t.Fatal(err)
+	}
 	return buf.String(), results, cfg.CSVDir
 }
 
@@ -111,8 +114,8 @@ func TestHarnessWorkerCountInvariance(t *testing.T) {
 			t.Fatalf("result %d differs:\nWorkers=1: %+v\nWorkers=%d: %+v", i, a, workers, b)
 		}
 	}
-	drop := map[string]bool{"seconds": true, "partition_seconds": true, "run_seconds": true}
-	for _, name := range []string{"table3.csv", "fig8.csv", "table4.csv", "figR_p4.csv", "table6.csv", "ablation_p4.csv", "window_p4.csv", "engine_comm.csv"} {
+	drop := map[string]bool{"seconds": true, "partition_seconds": true, "run_seconds": true, "refine_seconds": true}
+	for _, name := range []string{"table3.csv", "fig8.csv", "table4.csv", "figR_p4.csv", "table6.csv", "ablation_p4.csv", "window_p4.csv", "engine_comm.csv", "refine.csv"} {
 		rows1 := stripSeconds(t, filepath.Join(dir1, name), drop)
 		rowsN := stripSeconds(t, filepath.Join(dirN, name), drop)
 		if len(rows1) != len(rowsN) {

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"text/tabwriter"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/obs"
+	"github.com/graphpart/graphpart/internal/parallel"
+	"github.com/graphpart/graphpart/internal/refine"
+)
+
+// RefineResult is one (dataset, algorithm) cell of the refinement ablation:
+// partition with the named family, then run the move/swap local search and
+// record the quality deltas.
+type RefineResult struct {
+	Dataset   string
+	Algorithm string
+	P         int
+	RFBefore  float64
+	RFAfter   float64
+	// BalanceBefore / BalanceAfter are max-load/(m/p) around refinement.
+	BalanceBefore float64
+	BalanceAfter  float64
+	Passes        int
+	Moves         int
+	Swaps         int
+	// ReplicasRemoved is the net replica reduction the search achieved.
+	ReplicasRemoved int
+	// PartitionSeconds / RefineSeconds split the initial partitioning cost
+	// from the refinement cost.
+	PartitionSeconds float64
+	RefineSeconds    float64
+	Skipped          bool
+}
+
+// RunRefineAblation partitions every dataset with every registered family at
+// one partition count, refines each result in place with the move/swap local
+// search, and emits refine.csv — the RF/balance improvement refinement buys
+// on top of TLP, METIS, TLP-SW and the streaming families (ROADMAP item 4's
+// headline table). Cells fan out over the worker pool; the refiner itself
+// runs with the same worker budget and is bit-identical for any worker
+// count, so rows are too.
+func RunRefineAblation(cfg Config, graphs map[string]*graph.Graph, p int) error {
+	cfg = cfg.withDefaults()
+	var err error
+	if graphs == nil {
+		graphs, err = generateAll(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	roster := engineRoster()
+	results, err := parallel.MapErr(len(cfg.Datasets)*len(roster), cfg.Workers, func(i int) (RefineResult, error) {
+		d := cfg.Datasets[i/len(roster)]
+		r := roster[i%len(roster)]
+		g := graphs[d.Notation]
+		res := RefineResult{Dataset: d.Notation, Algorithm: r.name, P: p}
+		if r.maxEdges > 0 && g.NumEdges() > r.maxEdges {
+			res.Skipped = true
+			return res, nil
+		}
+		watch := obs.StartWatch()
+		a, err := r.make(cfg.Seed).Partition(g, p)
+		if err != nil {
+			return res, fmt.Errorf("harness: refine ablation %s on %s: %w", r.name, d.Notation, err)
+		}
+		res.PartitionSeconds = watch.Seconds()
+		watch = obs.StartWatch()
+		stats, err := refine.Run(g, a, refine.Options{Workers: cfg.Workers})
+		if err != nil {
+			return res, fmt.Errorf("harness: refining %s on %s: %w", r.name, d.Notation, err)
+		}
+		res.RefineSeconds = watch.Seconds()
+		res.RFBefore, res.RFAfter = stats.RFBefore, stats.RFAfter
+		res.BalanceBefore, res.BalanceAfter = stats.BalanceBefore, stats.BalanceAfter
+		res.Passes, res.Moves, res.Swaps = stats.Passes, stats.Moves, stats.Swaps
+		res.ReplicasRemoved = stats.ReplicasRemoved
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nREFINE (p=%d): move/swap local search on top of each family\n", p)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\talgorithm\trf before\trf after\tdelta\tbalance\tmoves\tswaps")
+	var rows [][]string
+	for _, res := range results {
+		if res.Skipped {
+			rows = append(rows, []string{res.Dataset, res.Algorithm, strconv.Itoa(p),
+				"", "", "", "", "", "", "", "", "", ""})
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%+.3f\t%.3f\t%d\t%d\n",
+			res.Dataset, res.Algorithm, res.RFBefore, res.RFAfter,
+			res.RFAfter-res.RFBefore, res.BalanceAfter, res.Moves, res.Swaps)
+		rows = append(rows, []string{res.Dataset, res.Algorithm, strconv.Itoa(p),
+			fmt.Sprintf("%.4f", res.RFBefore), fmt.Sprintf("%.4f", res.RFAfter),
+			fmt.Sprintf("%.4f", res.BalanceBefore), fmt.Sprintf("%.4f", res.BalanceAfter),
+			strconv.Itoa(res.Passes), strconv.Itoa(res.Moves), strconv.Itoa(res.Swaps),
+			strconv.Itoa(res.ReplicasRemoved),
+			fmt.Sprintf("%.3f", res.PartitionSeconds), fmt.Sprintf("%.3f", res.RefineSeconds)})
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("harness: flushing refine ablation: %w", err)
+	}
+	return writeCSV(cfg, "refine.csv",
+		[]string{"dataset", "algorithm", "p", "rf_before", "rf_after",
+			"balance_before", "balance_after", "passes", "moves", "swaps",
+			"replicas_removed", "partition_seconds", "refine_seconds"}, rows)
+}

@@ -40,6 +40,32 @@ func TestCorruptedAssignmentTripsSanitizer(t *testing.T) {
 	_ = Validate(g, a, ValidateOptions{})
 }
 
+// TestCorruptedStateTripsSanitizer desynchronises a State from its
+// assignment — the footprint of mutating the assignment behind the State's
+// back — and checks that the full-recomputation cross-check panics.
+func TestCorruptedStateTripsSanitizer(t *testing.T) {
+	g := sanitizerGraph()
+	a := MustNew(g.NumEdges(), 2)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), id%2)
+	}
+	s, err := NewState(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.totalReplicas++ // the phantom replica
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AssertConsistent accepted a desynchronised State")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "total replicas") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	s.AssertConsistent()
+}
+
 // TestValidAssignmentPassesSanitizer runs the instrumented Validate and
 // Compute paths on a healthy assignment: no panic, same results.
 func TestValidAssignmentPassesSanitizer(t *testing.T) {

@@ -1,10 +1,19 @@
-// Package refine post-processes a finished edge partitioning to reduce the
-// replication factor: a greedy consolidation pass finds spanned vertices
-// whose edges in some partition can all migrate to another partition the
-// vertex already occupies, removing a replica, and executes the move when
-// the net replica change is negative and the capacity allows. The paper
-// lists quality improvement as future work; this pass is the natural
-// "refinement" counterpart of FM for the edge partitioning objective.
+// Package refine improves a finished edge partitioning in place with the
+// move/swap local search of ROADMAP item 4 ("Enhancing Balanced Graph Edge
+// Partition with Effective Local Search", Guo et al.): per-vertex
+// replica-reduction moves vacate one of a spanned vertex's partition slices
+// into another partition the vertex already occupies, and boundary-edge
+// swaps exchange edges between partition pairs when the combined replica
+// reduction is positive, which improves RF without touching any load. Both
+// neighbourhoods run on the incremental partition.State, so every gain is an
+// O(1) count lookup and applying a move is O(1) amortized.
+//
+// Each pass scores candidates in parallel over the worker pool against the
+// phase-start state (reads only), then applies them in one sequential fold —
+// moves in ascending vertex order, swaps in ascending (i, j) partition-pair
+// order — re-evaluating every candidate's exact gain against the live state
+// at application time. Stale candidates are skipped, never mis-applied, so
+// the result is bit-identical for any worker count.
 package refine
 
 import (
@@ -12,39 +21,70 @@ import (
 	"sort"
 
 	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/invariants"
+	"github.com/graphpart/graphpart/internal/obs"
+	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
 )
 
-// Options tunes the consolidation pass.
+// maxSwapCandidates bounds the per-side candidate list of one partition
+// pair in one pass; the lists are gain-sorted, so the bound drops only the
+// least promising swaps, and later passes see them again.
+const maxSwapCandidates = 64
+
+// Options tunes the local search.
 type Options struct {
-	// Capacity is the per-partition bound C; zero means ceil(m/p).
+	// Capacity is the per-partition bound C; zero means ceil(m/p). Moves
+	// never push a partition above C (already-overfull inputs can only
+	// lose edges); swaps leave all loads unchanged.
 	Capacity int
-	// MaxPasses bounds full sweeps over the boundary (default 4).
+	// MaxPasses bounds full move+swap passes (default 8).
 	MaxPasses int
 	// MinGain is the smallest net replica reduction worth executing
 	// (default 1).
 	MinGain int
+	// MaxSeconds is a wall-clock budget checked between passes; zero means
+	// no budget. A truncated run is still a valid refinement, but which
+	// pass it stops after depends on the machine — leave it zero where
+	// bit-identical output matters (the deterministic-oracle tests do).
+	MaxSeconds float64
+	// Workers caps the scoring parallelism; zero resolves the worker pool
+	// default (GRAPHPART_WORKERS, then GOMAXPROCS).
+	Workers int
 }
 
-// Stats reports what a Consolidate call did.
+// Stats reports what a Run call did.
 type Stats struct {
 	// Passes actually executed.
 	Passes int
-	// Moves is the number of (vertex, partition -> partition) migrations.
+	// Moves is the number of vertex (partition -> partition) vacate
+	// migrations applied.
 	Moves int
 	// EdgesMoved counts the edges those migrations reassigned.
 	EdgesMoved int
+	// Swaps is the number of boundary-edge pair exchanges applied.
+	Swaps int
 	// ReplicasRemoved is the net replica reduction achieved.
 	ReplicasRemoved int
+	// RFBefore and RFAfter are the replication factor at entry and exit.
+	RFBefore, RFAfter float64
+	// BalanceBefore and BalanceAfter are max-load/(m/p) at entry and exit.
+	BalanceBefore, BalanceAfter float64
+	// Converged reports that the last pass found nothing left to apply
+	// (as opposed to stopping on MaxPasses or the time budget).
+	Converged bool
 }
 
-// Consolidate improves the assignment in place and reports statistics.
-func Consolidate(g *graph.Graph, a *partition.Assignment, opts Options) (Stats, error) {
+// Run improves the assignment in place until convergence, MaxPasses or the
+// time budget, and reports statistics. The assignment must be complete;
+// capacity is not validated on entry (refinement accepts over-capacity
+// inputs and only ever improves them).
+func Run(g *graph.Graph, a *partition.Assignment, opts Options) (Stats, error) {
 	var stats Stats
 	if g == nil {
 		return stats, fmt.Errorf("refine: nil graph")
 	}
-	if err := partition.Validate(g, a, partition.ValidateOptions{CapacitySlack: 1e9}); err != nil {
+	if err := partition.Validate(g, a, partition.ValidateOptions{SkipCapacity: true}); err != nil {
 		return stats, fmt.Errorf("refine: %w", err)
 	}
 	capC := opts.Capacity
@@ -53,132 +93,311 @@ func Consolidate(g *graph.Graph, a *partition.Assignment, opts Options) (Stats, 
 	}
 	maxPasses := opts.MaxPasses
 	if maxPasses <= 0 {
-		maxPasses = 4
+		maxPasses = 8
 	}
 	minGain := opts.MinGain
 	if minGain <= 0 {
 		minGain = 1
 	}
-	p := a.P()
-	n := g.NumVertices()
-	// incidence[v][k] = number of v's edges in partition k. Dense rows are
-	// affordable at the partition counts of this problem (p <= ~64).
-	incidence := make([][]int32, n)
-	for v := range incidence {
-		incidence[v] = make([]int32, p)
+	workers := parallel.Workers(opts.Workers)
+	st, err := partition.NewState(g, a)
+	if err != nil {
+		return stats, fmt.Errorf("refine: %w", err)
 	}
-	for id, e := range g.Edges() {
-		k, _ := a.PartitionOf(graph.EdgeID(id))
-		incidence[e.U][k]++
-		incidence[e.V][k]++
-	}
-	replicas := func(v graph.Vertex) int {
-		c := 0
-		for _, x := range incidence[v] {
-			if x > 0 {
-				c++
-			}
-		}
-		return c
-	}
+	stats.RFBefore = st.RF()
+	stats.BalanceBefore = st.Balance()
+	sp := obs.Start("refine.run",
+		obs.Int("p", a.P()), obs.Int("edges", g.NumEdges()),
+		obs.Int("capacity", capC), obs.Int("workers", workers),
+		obs.Int("boundary", st.NumBoundary()))
+	budget := obs.StartWatch()
+	r := &runner{g: g, st: st, capC: capC, minGain: minGain, workers: workers}
 	for pass := 0; pass < maxPasses; pass++ {
-		stats.Passes++
-		movedAny := false
-		for v := graph.Vertex(0); int(v) < n; v++ {
-			if replicas(v) < 2 {
-				continue
-			}
-			// Try to vacate v's smallest partition slice into another
-			// of v's partitions; smallest first maximises success.
-			var slices []partSlice
-			for k := 0; k < p; k++ {
-				if incidence[v][k] > 0 {
-					slices = append(slices, partSlice{k, incidence[v][k]})
-				}
-			}
-			sort.Slice(slices, func(i, j int) bool {
-				if slices[i].c != slices[j].c {
-					return slices[i].c < slices[j].c
-				}
-				return slices[i].k < slices[j].k
-			})
-			for _, from := range slices[:len(slices)-1] {
-				moved := tryVacate(g, a, incidence, v, from.k, slices, capC, minGain, &stats)
-				if moved {
-					movedAny = true
-					break // v's slices changed; revisit next pass
-				}
-			}
+		if opts.MaxSeconds > 0 && budget.Seconds() > opts.MaxSeconds {
+			break
 		}
-		if !movedAny {
+		psp := sp.Child("refine.pass", obs.Int("pass", pass))
+		w := obs.StartWatch()
+		moves, edgesMoved, moveGain := r.movePhase()
+		psp.Segment("refine.moves", w.Elapsed(),
+			obs.Int("moves", moves), obs.Int("edges_moved", edgesMoved),
+			obs.Int("replicas_removed", moveGain))
+		w = obs.StartWatch()
+		swaps, swapGain := r.swapPhase()
+		psp.Segment("refine.swaps", w.Elapsed(),
+			obs.Int("swaps", swaps), obs.Int("replicas_removed", swapGain))
+		psp.EndWith(obs.Int("replicas_removed", moveGain+swapGain))
+		stats.Passes++
+		stats.Moves += moves
+		stats.EdgesMoved += edgesMoved
+		stats.Swaps += swaps
+		stats.ReplicasRemoved += moveGain + swapGain
+		if invariants.Enabled {
+			st.AssertConsistent()
+		}
+		if moves+swaps == 0 {
+			stats.Converged = true
 			break
 		}
 	}
+	stats.RFAfter = st.RF()
+	stats.BalanceAfter = st.Balance()
+	sp.EndWith(obs.Int("passes", stats.Passes), obs.Int("moves", stats.Moves),
+		obs.Int("swaps", stats.Swaps),
+		obs.Int("replicas_removed", stats.ReplicasRemoved),
+		obs.Float("rf_after", stats.RFAfter))
 	return stats, nil
 }
 
-// partSlice is the (partition, edge count) share of one vertex's edges.
-type partSlice struct {
-	k int
-	c int32
+// runner carries one Run invocation's shared search context.
+type runner struct {
+	g       *graph.Graph
+	st      *partition.State
+	capC    int
+	minGain int
+	workers int
 }
 
-// tryVacate attempts to move all of v's edges out of partition `from` into
-// the best of v's other partitions, executing the move if the net replica
-// gain is at least minGain. Returns whether a move happened.
-func tryVacate(g *graph.Graph, a *partition.Assignment, incidence [][]int32,
-	v graph.Vertex, from int, slices []partSlice, capC, minGain int, stats *Stats) bool {
-	// Collect v's edges in `from`.
+// vacate is one scored per-vertex move candidate: shift all of v's edges in
+// partition `from` to partition `to` for a predicted replica reduction of
+// `gain`. from < 0 marks "no candidate".
+type vacate struct {
+	from, to int32
+	gain     int32
+}
+
+// movePhase scores the best vacate move of every spanned vertex in parallel
+// against the phase-start state, then applies them in ascending vertex order
+// with exact re-evaluation, so earlier applications invalidate later
+// candidates safely (the re-check skips them). Returns applied moves, edges
+// reassigned and replicas removed.
+func (r *runner) movePhase() (moves, edgesMoved, gainTotal int) {
+	st := r.st
+	spanned := make([]graph.Vertex, 0, st.SpannedVertices())
+	for v := 0; v < r.g.NumVertices(); v++ {
+		if st.Replicas(graph.Vertex(v)) >= 2 {
+			spanned = append(spanned, graph.Vertex(v))
+		}
+	}
+	if len(spanned) == 0 {
+		return 0, 0, 0
+	}
+	cands := make([]vacate, len(spanned))
+	chunks := parallel.Chunks(len(spanned), r.workers)
+	parallel.ForEach(len(chunks), r.workers, func(c int) {
+		var parts []int
+		others := make(map[int][]graph.Vertex, 4)
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			cands[i] = r.scoreVacate(spanned[i], parts[:0], others)
+		}
+	})
 	var edges []graph.EdgeID
-	nbrs := g.Neighbors(v)
-	eids := g.IncidentEdges(v)
-	for i := range nbrs {
-		if k, ok := a.PartitionOf(eids[i]); ok && k == from {
-			edges = append(edges, eids[i])
+	for i, v := range spanned {
+		cand := cands[i]
+		if cand.from < 0 {
+			continue
+		}
+		gain, got := r.vacateGain(v, int(cand.from), int(cand.to), edges[:0])
+		edges = got
+		if gain < r.minGain || len(edges) == 0 {
+			continue
+		}
+		if st.Assignment().Load(int(cand.to))+len(edges) > r.capC {
+			continue
+		}
+		delta := 0
+		for _, e := range edges {
+			delta += st.Move(e, int(cand.to))
+		}
+		if invariants.Enabled {
+			invariants.Assertf(delta == -gain,
+				"vacate of vertex %d: predicted gain %d, realized %d", v, gain, -delta)
+		}
+		moves++
+		edgesMoved += len(edges)
+		gainTotal += gain
+	}
+	return moves, edgesMoved, gainTotal
+}
+
+// scoreVacate finds v's best (from, to, gain) vacate candidate against the
+// current state: highest gain, ties to the smallest from then to. The caller
+// passes scratch buffers; `others` maps each of v's partitions to the far
+// endpoints of v's edges there and is wiped per call.
+func (r *runner) scoreVacate(v graph.Vertex, parts []int, others map[int][]graph.Vertex) vacate {
+	st := r.st
+	parts = st.Partitions(v, parts)
+	for _, k := range parts {
+		others[k] = others[k][:0]
+	}
+	nbrs := r.g.Neighbors(v)
+	eids := r.g.IncidentEdges(v)
+	for i, eid := range eids {
+		k, _ := st.Assignment().PartitionOf(eid)
+		others[k] = append(others[k], nbrs[i])
+	}
+	best := vacate{from: -1}
+	for _, from := range parts {
+		us := others[from]
+		load := len(us)
+		for _, to := range parts {
+			if to == from {
+				continue
+			}
+			if st.Assignment().Load(to)+load > r.capC {
+				continue
+			}
+			gain := 1 // v always leaves `from`; `to` is already one of v's partitions
+			for _, u := range us {
+				if st.Count(u, from) == 1 {
+					gain++
+				}
+				if st.Count(u, to) == 0 {
+					gain--
+				}
+			}
+			if gain >= r.minGain && (best.from < 0 || int32(gain) > best.gain) {
+				best = vacate{from: int32(from), to: int32(to), gain: int32(gain)}
+			}
+		}
+	}
+	return best
+}
+
+// vacateGain exactly evaluates moving all of v's edges in `from` to `to`
+// against the live state, returning the replica reduction and the edge list.
+// Unlike scoreVacate it does not assume v currently occupies `to`.
+func (r *runner) vacateGain(v graph.Vertex, from, to int, edges []graph.EdgeID) (int, []graph.EdgeID) {
+	st := r.st
+	gain := 1 // v leaves `from` (every edge there is moved)
+	if st.Count(v, to) == 0 {
+		gain--
+	}
+	nbrs := r.g.Neighbors(v)
+	for i, eid := range r.g.IncidentEdges(v) {
+		if k, _ := st.Assignment().PartitionOf(eid); k != from {
+			continue
+		}
+		edges = append(edges, eid)
+		u := nbrs[i]
+		if st.Count(u, from) == 1 {
+			gain++
+		}
+		if st.Count(u, to) == 0 {
+			gain--
 		}
 	}
 	if len(edges) == 0 {
-		return false
+		return 0, edges
 	}
-	bestTo, bestGain := -1, 0
-	for _, cand := range slices {
-		to := cand.k
-		if to == from || cand.c == 0 {
+	return gain, edges
+}
+
+// swapCand is one scored boundary edge on one side of a partition pair.
+type swapCand struct {
+	e    graph.EdgeID
+	gain int32
+}
+
+// proposal pairs two boundary edges for exchange between partitions i and j.
+type proposal struct {
+	e1, e2 graph.EdgeID
+}
+
+// swapPhase proposes boundary-edge exchanges for every partition pair in
+// parallel — each side's candidates gain-scored against the phase-start
+// state, sorted (gain desc, edge id asc) and rank-paired — then applies them
+// in ascending pair order with exact re-evaluation: the first move of a pair
+// is applied, the second evaluated against that intermediate state, and the
+// pair reverted when the combined realized gain falls short. Swaps never
+// change a load, so capacity is preserved by construction.
+func (r *runner) swapPhase() (swaps, gainTotal int) {
+	st := r.st
+	snap := st.AppendBoundary(nil)
+	if len(snap) == 0 {
+		return 0, 0
+	}
+	p := st.P()
+	byPart := make([][]graph.EdgeID, p)
+	for _, e := range snap {
+		k, _ := st.Assignment().PartitionOf(e)
+		byPart[k] = append(byPart[k], e) // ascending within k: snap is sorted
+	}
+	var pairs [][2]int
+	for i := 0; i < p; i++ {
+		if len(byPart[i]) == 0 {
 			continue
 		}
-		if a.Load(to)+len(edges) > capC {
-			continue
-		}
-		// Gain: v vacates `from` (+1); each moved edge's other endpoint u
-		// may leave `from` (+1 if this was u's last edge there) and may
-		// newly enter `to` (-1 if u had no edge there).
-		gain := 1
-		for _, eid := range edges {
-			u := g.Edge(eid).Other(v)
-			if incidence[u][from] == 1 {
-				gain++
-			}
-			if incidence[u][to] == 0 {
-				gain--
+		for j := i + 1; j < p; j++ {
+			if len(byPart[j]) > 0 {
+				pairs = append(pairs, [2]int{i, j})
 			}
 		}
-		if gain > bestGain || (gain == bestGain && bestTo != -1 && to < bestTo) {
-			bestTo, bestGain = to, gain
+	}
+	if len(pairs) == 0 {
+		return 0, 0
+	}
+	props := parallel.Map(len(pairs), r.workers, func(pi int) []proposal {
+		i, j := pairs[pi][0], pairs[pi][1]
+		ci := scoreSide(st, byPart[i], j)
+		if len(ci) == 0 {
+			return nil
+		}
+		cj := scoreSide(st, byPart[j], i)
+		n := len(ci)
+		if len(cj) < n {
+			n = len(cj)
+		}
+		var out []proposal
+		for t := 0; t < n; t++ {
+			if int(ci[t].gain+cj[t].gain) < r.minGain {
+				break // both lists are gain-sorted, so no later rank can reach MinGain
+			}
+			out = append(out, proposal{e1: ci[t].e, e2: cj[t].e})
+		}
+		return out
+	})
+	for pi, list := range props {
+		i, j := pairs[pi][0], pairs[pi][1]
+		for _, pr := range list {
+			k1, _ := st.Assignment().PartitionOf(pr.e1)
+			k2, _ := st.Assignment().PartitionOf(pr.e2)
+			if k1 != i || k2 != j {
+				continue // a previous application already moved one side
+			}
+			g1 := -st.Move(pr.e1, j)
+			g2 := -st.MoveDelta(pr.e2, i)
+			if g1+g2 < r.minGain {
+				st.Move(pr.e1, i) // revert; exactly restores the pre-swap state
+				continue
+			}
+			g2 = -st.Move(pr.e2, i)
+			swaps++
+			gainTotal += g1 + g2
 		}
 	}
-	if bestTo == -1 || bestGain < minGain {
-		return false
+	return swaps, gainTotal
+}
+
+// scoreSide gain-scores side edges for a move into partition `to` against
+// the phase-start state, returning at most maxSwapCandidates candidates with
+// non-negative gain, ordered (gain desc, edge id asc). A zero-gain edge is
+// kept: paired with a positive-gain partner the exchange still wins.
+func scoreSide(st *partition.State, edges []graph.EdgeID, to int) []swapCand {
+	var out []swapCand
+	for _, e := range edges {
+		if g := -st.MoveDelta(e, to); g >= 0 {
+			out = append(out, swapCand{e: e, gain: int32(g)})
+		}
 	}
-	for _, eid := range edges {
-		u := g.Edge(eid).Other(v)
-		a.Assign(eid, bestTo)
-		incidence[v][from]--
-		incidence[v][bestTo]++
-		incidence[u][from]--
-		incidence[u][bestTo]++
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].gain != out[b].gain {
+			return out[a].gain > out[b].gain
+		}
+		return out[a].e < out[b].e
+	})
+	if len(out) > maxSwapCandidates {
+		out = out[:maxSwapCandidates]
 	}
-	stats.Moves++
-	stats.EdgesMoved += len(edges)
-	stats.ReplicasRemoved += bestGain
-	return true
+	return out
 }
