@@ -1,5 +1,6 @@
 // Command graphlint runs the project's static analyzer (internal/analysis,
-// rules GL001..GL006) over every non-test package of the module and reports
+// per-package rules GL001..GL008 and GL011 plus the call-graph rules GL009
+// and GL010) over every non-test package of the module and reports
 // violations as file:line:col diagnostics. It exits 0 when the tree is
 // clean and 1 when any finding survives suppression, and always prints a
 // per-code summary of findings and suppressions so CI logs are diffable.
@@ -7,13 +8,17 @@
 // Usage:
 //
 //	go run ./cmd/graphlint ./...
-//	go run ./cmd/graphlint -rules        # list the rule set
+//	go run ./cmd/graphlint -rules            # list the rule set
+//	go run ./cmd/graphlint -json out.json ./...  # machine-readable diagnostics
+//	go run ./cmd/graphlint -audit ./...      # also fail on stale //lint:ignore
 //
 // Suppress a single finding with a trailing or directly-preceding comment:
 //
 //	//lint:ignore GL002 one-line reason why this site is exempt
 //
-// The reason is mandatory; a directive without one is itself an error.
+// The reason is mandatory; a directive without one is itself an error. Stale
+// directives — ones that no longer suppress anything — are always printed as
+// warnings and fail the run under -audit.
 package main
 
 import (
@@ -29,9 +34,14 @@ import (
 
 func main() {
 	listRules := flag.Bool("rules", false, "list the rule codes and exit")
+	audit := flag.Bool("audit", false, "fail when any //lint:ignore directive is stale (suppresses nothing)")
+	jsonOut := flag.String("json", "", "also write machine-readable diagnostics to this file")
 	flag.Parse()
 	if *listRules {
 		for _, rule := range analysis.Rules() {
+			fmt.Printf("%s  %s\n", rule.Code, rule.Doc)
+		}
+		for _, rule := range analysis.ModuleRules() {
 			fmt.Printf("%s  %s\n", rule.Code, rule.Doc)
 		}
 		return
@@ -49,50 +59,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "graphlint:", err)
 		os.Exit(2)
 	}
-	findings, err := run(root, os.Stdout)
+	findings, stale, err := run(root, *jsonOut, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphlint:", err)
 		os.Exit(2)
 	}
-	if findings > 0 {
+	if findings > 0 || (*audit && stale > 0) {
 		os.Exit(1)
 	}
 }
 
-// run loads the module at root, checks every package, prints diagnostics
-// and the per-code summary to w, and returns the number of findings.
-func run(root string, w io.Writer) (int, error) {
+// run loads the module at root, checks every package plus the module-wide
+// call-graph rules, prints diagnostics and the per-code summary to w, and
+// returns the finding and stale-directive counts.
+func run(root, jsonOut string, w io.Writer) (findings, stale int, err error) {
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	pkgs, err := loader.Packages()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	findings := map[string]int{}
-	suppressed := map[string]int{}
-	total := 0
-	for _, pkg := range pkgs {
-		res := analysis.Check(pkg)
-		for _, d := range res.Diagnostics {
-			d.Pos.Filename = relPath(root, d.Pos.Filename)
-			fmt.Fprintln(w, d)
-			findings[d.Code]++
-			total++
+	res := analysis.CheckModule(pkgs)
+	counts := map[string]int{}
+	for _, d := range res.Diagnostics {
+		d.Pos.Filename = relPath(root, d.Pos.Filename)
+		fmt.Fprintln(w, d)
+		counts[d.Code]++
+	}
+	for _, d := range res.Stale {
+		d.Pos.Filename = relPath(root, d.Pos.Filename)
+		fmt.Fprintln(w, d)
+	}
+	printSummary(w, counts, res.Suppressed, len(res.Stale))
+	if jsonOut != "" {
+		data, err := res.JSON(root)
+		if err != nil {
+			return 0, 0, err
 		}
-		for code, n := range res.Suppressed {
-			suppressed[code] += n
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return 0, 0, err
 		}
 	}
-	printSummary(w, findings, suppressed)
-	return total, nil
+	return len(res.Diagnostics), len(res.Stale), nil
 }
 
 // printSummary emits one line per rule code: finding and suppression counts.
-func printSummary(w io.Writer, findings, suppressed map[string]int) {
+func printSummary(w io.Writer, findings, suppressed map[string]int, stale int) {
 	codes := map[string]bool{}
 	for _, rule := range analysis.Rules() {
+		codes[rule.Code] = true
+	}
+	for _, rule := range analysis.ModuleRules() {
 		codes[rule.Code] = true
 	}
 	for code := range findings {
@@ -110,6 +129,7 @@ func printSummary(w io.Writer, findings, suppressed map[string]int) {
 	for _, code := range sorted {
 		fmt.Fprintf(w, "  %s: %d / %d\n", code, findings[code], suppressed[code])
 	}
+	fmt.Fprintf(w, "  stale ignores: %d\n", stale)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

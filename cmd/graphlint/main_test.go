@@ -1,24 +1,32 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
 )
 
 // TestRunCleanTree runs the full analyzer over the module and asserts the
-// tree lints clean: zero findings, and a summary whose lines parse. This is
-// the same invocation CI performs, so a regression that introduces a
-// violation fails here before it fails in the pipeline.
+// tree lints clean: zero findings, zero stale directives, and a summary
+// whose lines parse. This is the same invocation CI performs, so a
+// regression that introduces a violation fails here before it fails in the
+// pipeline.
 func TestRunCleanTree(t *testing.T) {
 	var buf strings.Builder
-	findings, err := run("../..", &buf)
+	jsonOut := filepath.Join(t.TempDir(), "graphlint.json")
+	findings, stale, err := run("../..", jsonOut, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if findings != 0 {
 		t.Fatalf("expected a clean tree, got %d findings:\n%s", findings, out)
+	}
+	if stale != 0 {
+		t.Fatalf("expected no stale ignore directives, got %d:\n%s", stale, out)
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) < 2 {
@@ -27,9 +35,12 @@ func TestRunCleanTree(t *testing.T) {
 	if lines[0] != "graphlint summary (findings / suppressed):" {
 		t.Errorf("unexpected summary header: %q", lines[0])
 	}
+	if last := lines[len(lines)-1]; last != "  stale ignores: 0" {
+		t.Errorf("unexpected stale line: %q", last)
+	}
 	row := regexp.MustCompile(`^  (GL\d{3}): (\d+) / (\d+)$`)
 	seen := map[string]bool{}
-	for _, line := range lines[1:] {
+	for _, line := range lines[1 : len(lines)-1] {
 		m := row.FindStringSubmatch(line)
 		if m == nil {
 			t.Errorf("unparseable summary line: %q", line)
@@ -40,10 +51,34 @@ func TestRunCleanTree(t *testing.T) {
 		}
 		seen[m[1]] = true
 	}
-	for _, code := range []string{"GL001", "GL002", "GL003", "GL004", "GL005", "GL006"} {
+	for _, code := range []string{
+		"GL001", "GL002", "GL003", "GL004", "GL005", "GL006",
+		"GL007", "GL008", "GL009", "GL010", "GL011",
+	} {
 		if !seen[code] {
 			t.Errorf("summary missing rule code %s:\n%s", code, out)
 		}
+	}
+
+	// The -json artifact must exist and hold the same clean verdict.
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+		Stale       []json.RawMessage `json:"stale"`
+		Suppressed  map[string]int    `json:"suppressed"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("JSON artifact does not parse: %v", err)
+	}
+	if len(report.Diagnostics) != 0 || len(report.Stale) != 0 {
+		t.Errorf("JSON artifact reports %d diagnostics / %d stale on a clean run",
+			len(report.Diagnostics), len(report.Stale))
+	}
+	if len(report.Suppressed) == 0 {
+		t.Error("JSON artifact missing suppressed counts")
 	}
 }
 

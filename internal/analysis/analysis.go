@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -14,8 +15,29 @@ type Diagnostic struct {
 	Pos token.Position
 	// Code is the rule code, e.g. "GL001".
 	Code string
+	// Severity is "error" for rule violations and "warning" for hygiene
+	// findings (stale lint:ignore directives found by the audit).
+	Severity string
 	// Message explains the violation and the expected fix.
 	Message string
+	// Path, for call-graph rules (GL009, GL010), is the call path from the
+	// certified entry point (or hotpath root) to the offending site.
+	Path []PathStep
+}
+
+// PathStep is one hop of a call-graph diagnostic's path: the function
+// entered, the call site that entered it, and — for a conservative edge —
+// why the analyzer assumed the call could happen.
+type PathStep struct {
+	// Func names the function entered, as package.Func or
+	// package.(Type).Method.
+	Func string
+	// Pos is the call site (for the first step, the entry point's
+	// declaration).
+	Pos token.Position
+	// Via explains a conservative edge ("interface engine.Transport",
+	// "func value"); empty for an exact edge.
+	Via string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -53,6 +75,7 @@ func Rules() []Rule {
 		{Code: "GL006", Doc: "sync.Mutex, sync.RWMutex or partition.Assignment passed by value", check: checkGL006},
 		{Code: "GL007", Doc: "time.Now / time.Since / time.Until call outside the clock allowlist (obs seam, benchsnap timestamps, wire socket deadlines)", check: checkGL007},
 		{Code: "GL008", Doc: "ValidateOptions.CapacitySlack set to a capacity-disabling constant (>= 10) instead of SkipCapacity", check: checkGL008},
+		{Code: "GL011", Doc: "closure passed to internal/parallel.ForEach/Map writes captured state instead of an index-addressed destination", check: checkGL011},
 	}
 }
 
@@ -63,18 +86,31 @@ type ignoreDirective struct {
 	pos    token.Position
 }
 
-// reporter accumulates diagnostics for one package and applies suppression.
+// reporter accumulates diagnostics for one package (or, for module rules,
+// one module) and applies suppression.
 type reporter struct {
-	pkg  *Package
+	fset *token.FileSet
 	diag []Diagnostic
 }
 
 // report records a finding at pos.
 func (r *reporter) report(pos token.Pos, code, format string, args ...any) {
 	r.diag = append(r.diag, Diagnostic{
-		Pos:     r.pkg.Fset.Position(pos),
-		Code:    code,
-		Message: fmt.Sprintf(format, args...),
+		Pos:      r.fset.Position(pos),
+		Code:     code,
+		Severity: "error",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportPath records a finding at pos carrying a call path.
+func (r *reporter) reportPath(pos token.Pos, code string, path []PathStep, format string, args ...any) {
+	r.diag = append(r.diag, Diagnostic{
+		Pos:      r.fset.Position(pos),
+		Code:     code,
+		Severity: "error",
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
 	})
 }
 
@@ -90,7 +126,7 @@ func (r *reporter) report(pos token.Pos, code, format string, args ...any) {
 // anything and is itself reported (as GL000), so blanket or unexplained
 // suppressions cannot land.
 func Check(pkg *Package) Result {
-	r := &reporter{pkg: pkg}
+	r := &reporter{fset: pkg.Fset}
 	for _, rule := range Rules() {
 		rule.check(pkg, r)
 	}
@@ -103,8 +139,14 @@ func Check(pkg *Package) Result {
 		}
 		res.Diagnostics = append(res.Diagnostics, d)
 	}
-	sort.Slice(res.Diagnostics, func(i, j int) bool {
-		a, b := res.Diagnostics[i], res.Diagnostics[j]
+	sortDiagnostics(res.Diagnostics)
+	return res
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, code).
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -116,7 +158,132 @@ func Check(pkg *Package) Result {
 		}
 		return a.Code < b.Code
 	})
+}
+
+// ModuleResult is the outcome of a whole-module run: every package checked
+// by the per-package rules, the call-graph rules run over the full graph,
+// suppression applied, and the directive audit computed.
+type ModuleResult struct {
+	// Diagnostics are the surviving findings, sorted by position.
+	Diagnostics []Diagnostic
+	// Suppressed counts, per rule code, the findings silenced by a
+	// well-formed //lint:ignore directive.
+	Suppressed map[string]int
+	// Stale lists, as GL000 warnings, every //lint:ignore directive that
+	// suppressed nothing in this run: the code it silences no longer fires
+	// there, so the directive (and whatever fear motivated it) is dead
+	// weight. Reported separately so graphlint can gate on it only under
+	// -audit.
+	Stale []Diagnostic
+}
+
+// CheckModule runs the per-package rules over every package and the
+// module-wide call-graph rules (GL009, GL010) over the whole set, applies
+// //lint:ignore suppression across all of it, and audits the directives
+// themselves for staleness. This is the entry point cmd/graphlint uses; the
+// per-package Check remains for corpus tests that exercise one rule in
+// isolation.
+func CheckModule(pkgs []*Package) ModuleResult {
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	var diags []Diagnostic
+	var dirs []ignoreDirective
+	for _, pkg := range sorted {
+		r := &reporter{fset: pkg.Fset}
+		for _, rule := range Rules() {
+			rule.check(pkg, r)
+		}
+		dirs = append(dirs, collectIgnores(pkg, r)...)
+		diags = append(diags, r.diag...)
+	}
+
+	m := BuildModule(sorted)
+	if m.fset != nil {
+		mr := &reporter{fset: m.fset}
+		for _, rule := range ModuleRules() {
+			rule.check(m, mr)
+		}
+		diags = append(diags, mr.diag...)
+	}
+
+	used := make([]bool, len(dirs))
+	res := ModuleResult{Suppressed: map[string]int{}}
+	for _, d := range diags {
+		if dir := matchIgnore(dirs, d); dir != nil {
+			for i := range dirs {
+				if &dirs[i] == dir {
+					used[i] = true
+				}
+			}
+			res.Suppressed[d.Code]++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	for i, dir := range dirs {
+		if used[i] {
+			continue
+		}
+		res.Stale = append(res.Stale, Diagnostic{
+			Pos:      dir.pos,
+			Code:     "GL000",
+			Severity: "warning",
+			Message: fmt.Sprintf("stale lint:ignore %s: no such finding fires here any more; delete the directive",
+				strings.Join(dir.codes, " ")),
+		})
+	}
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.Stale)
 	return res
+}
+
+// JSON renders the result in the machine-readable schema documented in
+// DESIGN.md §16. trimPrefix, when non-empty, is stripped from file paths
+// (pass the module root for repo-relative output).
+func (res ModuleResult) JSON(trimPrefix string) ([]byte, error) {
+	type jsonStep struct {
+		Func string `json:"func"`
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Via  string `json:"via,omitempty"`
+	}
+	type jsonDiag struct {
+		File     string     `json:"file"`
+		Line     int        `json:"line"`
+		Column   int        `json:"column"`
+		Code     string     `json:"code"`
+		Severity string     `json:"severity"`
+		Message  string     `json:"message"`
+		Path     []jsonStep `json:"path,omitempty"`
+	}
+	rel := func(name string) string {
+		if trimPrefix == "" {
+			return name
+		}
+		return strings.TrimPrefix(strings.TrimPrefix(name, trimPrefix), "/")
+	}
+	conv := func(diags []Diagnostic) []jsonDiag {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			jd := jsonDiag{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Code: d.Code, Severity: d.Severity, Message: d.Message,
+			}
+			for _, s := range d.Path {
+				jd.Path = append(jd.Path, jsonStep{
+					Func: s.Func, File: rel(s.Pos.Filename), Line: s.Pos.Line, Via: s.Via,
+				})
+			}
+			out = append(out, jd)
+		}
+		return out
+	}
+	return json.MarshalIndent(struct {
+		Diagnostics []jsonDiag     `json:"diagnostics"`
+		Stale       []jsonDiag     `json:"stale"`
+		Suppressed  map[string]int `json:"suppressed"`
+	}{conv(res.Diagnostics), conv(res.Stale), res.Suppressed}, "", "  ")
 }
 
 // collectIgnores parses every //lint:ignore directive in the package,

@@ -64,13 +64,29 @@ func parseWants(t *testing.T, dir string) []expectation {
 	return out
 }
 
-// diagKeys renders a Result's diagnostics in the expectation format.
-func diagKeys(res Result) []expectation {
+// diagKeys renders diagnostics in the expectation format.
+func diagKeys(diags []Diagnostic) []expectation {
 	var out []expectation
-	for _, d := range res.Diagnostics {
+	for _, d := range diags {
 		out = append(out, expectation{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line, code: d.Code})
 	}
 	return out
+}
+
+// compareWants asserts got matches the want expectations exactly.
+func compareWants(t *testing.T, want, got []expectation) {
+	t.Helper()
+	sortExpectations(want)
+	sortExpectations(got)
+	if len(want) != len(got) {
+		t.Errorf("diagnostic count: got %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("diagnostic %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
 }
 
 func sortExpectations(es []expectation) {
@@ -138,6 +154,8 @@ func TestCorpus(t *testing.T) {
 		{name: "gl007wire", dir: "gl007wire", asPath: "<mod>/internal/wire"},
 		{name: "gl008bad", dir: "gl008bad", asPath: "<mod>/internal/gl008bad"},
 		{name: "gl008ok", dir: "gl008ok", asPath: "<mod>/internal/gl008ok"},
+		{name: "gl011bad", dir: "gl011bad", asPath: "<mod>/internal/gl011bad"},
+		{name: "gl011ok", dir: "gl011ok", asPath: "<mod>/internal/gl011ok"},
 		{name: "suppress", dir: "suppress", asPath: "<mod>/internal/suppress",
 			suppressed: map[string]int{"GL001": 1}},
 	}
@@ -151,19 +169,7 @@ func TestCorpus(t *testing.T) {
 			}
 			res := Check(pkg)
 
-			want := parseWants(t, dir)
-			got := diagKeys(res)
-			sortExpectations(want)
-			sortExpectations(got)
-			if len(want) != len(got) {
-				t.Errorf("diagnostic count: got %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
-			} else {
-				for i := range want {
-					if want[i] != got[i] {
-						t.Errorf("diagnostic %d: got %v, want %v", i, got[i], want[i])
-					}
-				}
-			}
+			compareWants(t, parseWants(t, dir), diagKeys(res.Diagnostics))
 			for _, d := range res.Diagnostics {
 				covered[d.Code] = true
 			}
@@ -195,9 +201,97 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
-// TestModuleClean runs every rule over every package of the module itself:
-// the tree must lint clean, and every suppression in it must carry a reason
-// (a reasonless one would surface as GL000 and fail this test).
+// TestCorpusModule checks the call-graph corpus packages through
+// CheckModule — the same entry point cmd/graphlint uses — so the GL009
+// certificates, the GL010 hot-path walk and the stale-directive audit all
+// run exactly as they do in CI.
+func TestCorpusModule(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := loader.ModulePath()
+	cases := []struct {
+		name   string
+		dir    string
+		asPath string
+		// wantStale is the expected number of stale //lint:ignore
+		// directives the audit surfaces.
+		wantStale int
+	}{
+		// GL009's entry-point selection keys off the module root path.
+		{name: "gl009bad", dir: "gl009bad", asPath: "<mod>"},
+		{name: "gl009ok", dir: "gl009ok", asPath: "<mod>"},
+		{name: "gl010bad", dir: "gl010bad", asPath: "<mod>/internal/gl010bad"},
+		{name: "gl010ok", dir: "gl010ok", asPath: "<mod>/internal/gl010ok"},
+		{name: "stale", dir: "stale", asPath: "<mod>/internal/stale", wantStale: 1},
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := loader.CheckDir(dir, strings.ReplaceAll(tc.asPath, "<mod>", mod))
+			if err != nil {
+				t.Fatalf("loading %s: %v", dir, err)
+			}
+			res := CheckModule([]*Package{pkg})
+
+			compareWants(t, parseWants(t, dir), diagKeys(res.Diagnostics))
+			for _, d := range res.Diagnostics {
+				covered[d.Code] = true
+			}
+			if len(res.Stale) != tc.wantStale {
+				t.Errorf("stale directives: got %d (%v), want %d", len(res.Stale), res.Stale, tc.wantStale)
+			}
+
+			if tc.name == "gl009bad" {
+				assertGL009Paths(t, res.Diagnostics)
+			}
+		})
+	}
+	for _, rule := range ModuleRules() {
+		if !covered[rule.Code] {
+			t.Errorf("no corpus snippet triggers %s", rule.Code)
+		}
+	}
+}
+
+// assertGL009Paths pins the structure of the gl009bad certificates: the
+// two-hop clock violation must carry its full Partition -> prepare -> stamp
+// route, and the interface-dispatch violation must carry a conservative
+// edge labelled with the interface it fanned out through.
+func assertGL009Paths(t *testing.T, diags []Diagnostic) {
+	t.Helper()
+	var twoHop, viaIface bool
+	for _, d := range diags {
+		if d.Code != "GL009" {
+			continue
+		}
+		if len(d.Path) == 3 &&
+			strings.HasSuffix(d.Path[0].Func, ".Partition") &&
+			strings.HasSuffix(d.Path[1].Func, ".prepare") &&
+			strings.HasSuffix(d.Path[2].Func, ".stamp") {
+			twoHop = true
+		}
+		for _, s := range d.Path {
+			if strings.HasPrefix(s.Via, "interface ") {
+				viaIface = true
+			}
+		}
+	}
+	if !twoHop {
+		t.Errorf("no GL009 diagnostic carries the Partition -> prepare -> stamp path: %v", diags)
+	}
+	if !viaIface {
+		t.Errorf("no GL009 diagnostic carries a conservative interface edge: %v", diags)
+	}
+}
+
+// TestModuleClean runs the full module check — per-package rules, the
+// call-graph rules over the whole program, and the directive audit — over
+// the repository itself: the tree must lint clean, every suppression must
+// carry a reason (a reasonless one surfaces as GL000), and no suppression
+// may be stale.
 func TestModuleClean(t *testing.T) {
 	loader, err := NewLoader("../..")
 	if err != nil {
@@ -210,10 +304,63 @@ func TestModuleClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		res := Check(pkg)
-		for _, d := range res.Diagnostics {
-			t.Errorf("%s: %s", pkg.Path, d.String())
+	res := CheckModule(pkgs)
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d.String())
+	}
+	for _, d := range res.Stale {
+		t.Errorf("stale suppression: %s: %s", d.Pos, d.Message)
+	}
+}
+
+// TestHotAnnotationsLinked cross-checks every //graphpart:hotpath
+// annotation in the module against reality: each must name its AllocsPerRun
+// test, and that test must exist as a function in a _test.go file of the
+// annotated package — the static claim is only as good as the runtime
+// assertion backing it.
+func TestHotAnnotationsLinked(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns := BuildModule(pkgs).HotAnnotations()
+	if len(anns) < 5 {
+		t.Fatalf("suspiciously few hotpath annotations in the module: %d", len(anns))
+	}
+	testFuncs := map[string]string{} // dir -> concatenated _test.go sources
+	for _, ha := range anns {
+		if ha.Test == "" {
+			t.Errorf("%s: hotpath annotation on %s has no test= link", ha.Pos, ha.Func)
+			continue
+		}
+		dir := filepath.Dir(ha.Pos.Filename)
+		src, ok := testFuncs[dir]
+		if !ok {
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, e := range entries {
+				if !strings.HasSuffix(e.Name(), "_test.go") {
+					continue
+				}
+				b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sb.Write(b)
+			}
+			src = sb.String()
+			testFuncs[dir] = src
+		}
+		if !strings.Contains(src, "func "+ha.Test+"(") {
+			t.Errorf("%s: hotpath annotation on %s names %s, but no such test exists in %s",
+				ha.Pos, ha.Func, ha.Test, dir)
 		}
 	}
 }

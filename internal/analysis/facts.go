@@ -1,0 +1,557 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Per-function facts. computeFacts records the leaf facts GL009 certifies
+// against (wall-clock reads, unseeded randomness) plus the coarse
+// behavioural facts (map iteration, goroutine spawns); hotPathHits performs
+// the finer GL010 walk for allocation patterns. Facts never propagate
+// eagerly — the rules traverse the call graph and report a fact together
+// with the call path that reaches it.
+
+// FactKind classifies one per-function fact.
+type FactKind uint8
+
+const (
+	// FactWallClock: the function reads the wall clock (time.Now/Since/Until).
+	FactWallClock FactKind = iota
+	// FactRandom: the function draws from math/rand or crypto/rand directly,
+	// bypassing the seeded internal/rng generator.
+	FactRandom
+	// FactMapRange: the function ranges over a map (nondeterministic order).
+	FactMapRange
+	// FactGoroutine: the function spawns a goroutine.
+	FactGoroutine
+)
+
+// factHit is one occurrence of a fact (or a GL010 allocation pattern).
+type factHit struct {
+	kind FactKind
+	pos  token.Pos
+	what string
+}
+
+// coldRanges collects the source ranges of statements that are provably
+// dead in the build under analysis: the bodies of if-statements whose
+// condition requires invariants.Enabled, a build-tag constant that is false
+// unless the graphpart_invariants tag is set. The compiler removes those
+// blocks from the shipped binary, so the facts and the call graph omit them
+// — the same exclusion the loader's build-tag filtering applies at file
+// granularity. (Only the positive polarity is recognized: an early-return
+// guard `if !invariants.Enabled { return }` gates the *rest* of the
+// function, which stays live.)
+func coldRanges(pkg *Package, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condRequiresInvariants(pkg, ifs.Cond) {
+			out = append(out, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// condRequiresInvariants reports whether cond can only be true when
+// invariants.Enabled is: the constant itself, or an && chain containing it.
+func condRequiresInvariants(pkg *Package, cond ast.Expr) bool {
+	switch v := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if v.Op == token.LAND {
+			return condRequiresInvariants(pkg, v.X) || condRequiresInvariants(pkg, v.Y)
+		}
+	case *ast.SelectorExpr:
+		return isInvariantsEnabled(pkg, v.Sel)
+	case *ast.Ident:
+		return isInvariantsEnabled(pkg, v)
+	}
+	return false
+}
+
+func isInvariantsEnabled(pkg *Package, id *ast.Ident) bool {
+	c, ok := pkg.Info.Uses[id].(*types.Const)
+	return ok && c.Name() == "Enabled" && c.Pkg() != nil &&
+		strings.HasSuffix(c.Pkg().Path(), "/internal/invariants")
+}
+
+// inCold reports whether pos falls inside any dead range.
+func inCold(ranges [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// computeFacts records node's leaf facts from its body.
+func computeFacts(node *FuncNode) {
+	pkg := node.Pkg
+	cold := coldRanges(pkg, node.Decl.Body)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if n != nil && inCold(cold, n.Pos()) {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			node.facts = append(node.facts, factHit{kind: FactGoroutine, pos: e.Pos(), what: "go statement"})
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[e.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					node.facts = append(node.facts, factHit{kind: FactMapRange, pos: e.Pos(), what: "map range"})
+				}
+			}
+		case *ast.SelectorExpr:
+			fn, ok := pkg.Info.Uses[e.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					node.facts = append(node.facts, factHit{
+						kind: FactWallClock, pos: e.Pos(), what: "time." + fn.Name(),
+					})
+				}
+			case "math/rand", "math/rand/v2", "crypto/rand":
+				node.facts = append(node.facts, factHit{
+					kind: FactRandom, pos: e.Pos(),
+					what: fn.Pkg().Path() + "." + fn.Name(),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// factsOf returns node's hits of the given kind.
+func (n *FuncNode) factsOf(kind FactKind) []factHit {
+	var out []factHit
+	for _, h := range n.facts {
+		if h.kind == kind {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// GL010 allocation-pattern walk.
+//
+// A //graphpart:hotpath function and everything it transitively calls must
+// be free of the allocation patterns below. The list is deliberately about
+// *patterns*, not single allocations: a constant number of allocations per
+// call (a presized make, a returned buffer) is acceptable and is what the
+// linked AllocsPerRun assertion pins at runtime; what the lint bans is the
+// per-iteration, hidden or unbounded kind.
+//
+//   - map iteration: nondeterministic order and a hidden iterator.
+//   - append to a local slice that was never given a capacity: every growth
+//     reallocates. Appends to parameters, receivers and struct fields are
+//     the caller's (or owner's) presizing responsibility and are not
+//     flagged; appends to locals born of a 3-arg make or a reslice are
+//     presized by construction.
+//   - allocation inside a loop (make, new, &T{...}, slice/map literal):
+//     one allocation per iteration. Loop-free allocation sites are allowed
+//     (constant per call).
+//   - interface boxing of a non-pointer value (conversion or assignment):
+//     each boxing heap-allocates the value. Pointer-to-interface
+//     conversions do not allocate and are not flagged.
+//   - defer inside a loop: one defer frame per iteration.
+//   - an escaping closure that captures locals: the capture forces the
+//     variables (and the closure) to the heap. Immediately-invoked
+//     literals, capture-free literals and closures passed to sort.Search
+//     (whose predicate provably does not escape) are allowed.
+//   - fmt.* and sort.Slice* calls: formatting allocates on every path and
+//     sort.Slice boxes its closure and uses reflection. A fmt call whose
+//     result feeds a panic is a cold path and is exempt.
+//   - go statements: each spawn allocates a stack (also a FactGoroutine).
+// ---------------------------------------------------------------------------
+
+// hotPathHits computes (once) and returns node's GL010 pattern hits.
+func hotPathHits(node *FuncNode) []factHit {
+	if node.hotDone {
+		return node.hotHits
+	}
+	node.hotDone = true
+	pkg := node.Pkg
+	body := node.Decl.Body
+
+	params := paramObjects(pkg, node.Decl)
+	presized := presizedLocals(pkg, body)
+	panicArgs := panicArgPositions(body)
+	cold := coldRanges(pkg, body)
+
+	var hits []factHit
+	report := func(pos token.Pos, format string, args ...any) {
+		if inCold(cold, pos) {
+			return // dead-coded in this build (invariants.Enabled guard)
+		}
+		hits = append(hits, factHit{pos: pos, what: fmt.Sprintf(format, args...)})
+	}
+
+	// walk tracks loop depth manually so per-iteration constructs can be
+	// distinguished from per-call ones.
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		switch e := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walkChildren(e, func(c ast.Node) { walk(c, loopDepth) }, e.Body)
+			walk(e.Body, loopDepth+1)
+			return
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[e.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(e.Pos(), "ranges over a map (nondeterministic order, hidden iterator)")
+				}
+			}
+			walkChildren(e, func(c ast.Node) { walk(c, loopDepth) }, e.Body)
+			walk(e.Body, loopDepth+1)
+			return
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				report(e.Pos(), "defer inside a loop allocates a defer frame per iteration")
+			}
+		case *ast.GoStmt:
+			report(e.Pos(), "go statement spawns a goroutine (stack allocation, scheduling)")
+		case *ast.FuncLit:
+			// Checked at its use site below (escape analysis); do not
+			// descend here — the literal's body is walked with the loop
+			// depth of its own frame, not the enclosing loop's.
+			checkFuncLitEscape(pkg, node.Decl, e, report)
+			walk(e.Body, 0)
+			return
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok && loopDepth > 0 {
+					report(e.Pos(), "&composite literal inside a loop allocates per iteration")
+				}
+			}
+		case *ast.CompositeLit:
+			if loopDepth > 0 {
+				if t := pkg.Info.TypeOf(e); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						report(e.Pos(), "%s literal inside a loop allocates per iteration",
+							types.TypeString(t, shortQualifier))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pkg, e, loopDepth, presized, params, panicArgs, report)
+		case *ast.AssignStmt:
+			checkBoxingAssign(pkg, e, report)
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, loopDepth) })
+	}
+	walk(body, 0)
+	node.hotHits = hits
+	return hits
+}
+
+// walkChildren visits n's direct children via ast.Inspect's first level,
+// skipping any node in except.
+func walkChildren(n ast.Node, visit func(ast.Node), except ...ast.Node) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		for _, ex := range except {
+			if c == ex {
+				return false
+			}
+		}
+		visit(c)
+		return false
+	})
+}
+
+// checkHotCall flags builtin and stdlib calls with allocation patterns.
+func checkHotCall(pkg *Package, call *ast.CallExpr, loopDepth int,
+	presized map[types.Object]bool, params map[types.Object]bool,
+	panicArgs map[token.Pos]bool, report func(token.Pos, string, ...any)) {
+
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkBoxingConversion(pkg, call, report)
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				checkAppend(pkg, call, presized, params, report)
+			case "make", "new":
+				if loopDepth > 0 {
+					report(call.Pos(), "%s inside a loop allocates per iteration", b.Name())
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if !panicArgs[call.Pos()] {
+				report(call.Pos(), "fmt.%s allocates on every call; hot paths format nothing (panic guards are exempt)", fn.Name())
+			}
+		case "sort":
+			if fn.Name() == "Slice" || fn.Name() == "SliceStable" {
+				report(call.Pos(), "sort.%s boxes its closure and swaps via reflection; sort.Sort a concrete sort.Interface instead", fn.Name())
+			}
+		}
+	}
+}
+
+// checkAppend flags append calls whose destination is a function-local
+// slice that was never presized.
+func checkAppend(pkg *Package, call *ast.CallExpr,
+	presized, params map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := baseIdent(call.Args[0])
+	if base == nil {
+		return
+	}
+	obj := pkg.Info.ObjectOf(base)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || params[obj] || presized[obj] {
+		return
+	}
+	// Package-level and closure-captured slices are the owner's concern —
+	// GL011 polices writes from parallel closures; here only locals count.
+	if v.Parent() == v.Pkg().Scope() {
+		return
+	}
+	report(call.Pos(), "append to %q, which was never given a capacity; presize with make(_, 0, n) or reuse a buffer", base.Name)
+}
+
+// checkBoxingConversion flags T(x) conversions that box a non-pointer value
+// into an interface.
+func checkBoxingConversion(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := pkg.Info.TypeOf(call.Fun)
+	src := pkg.Info.TypeOf(call.Args[0])
+	if boxes(src, dst) {
+		report(call.Pos(), "conversion boxes %s into %s (heap-allocates the value)",
+			types.TypeString(src, shortQualifier), types.TypeString(dst, shortQualifier))
+	}
+}
+
+// checkBoxingAssign flags assignments that box a non-pointer value into an
+// interface-typed destination.
+func checkBoxingAssign(pkg *Package, as *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if as.Tok == token.DEFINE {
+		return // the new variable adopts the RHS type; no conversion happens
+	}
+	n := len(as.Rhs)
+	if n != len(as.Lhs) {
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst := pkg.Info.TypeOf(as.Lhs[i])
+		src := pkg.Info.TypeOf(as.Rhs[i])
+		if boxes(src, dst) {
+			report(as.Pos(), "assignment boxes %s into %s (heap-allocates the value)",
+				types.TypeString(src, shortQualifier), types.TypeString(dst, shortQualifier))
+		}
+	}
+}
+
+// boxes reports whether assigning a src value to a dst location allocates:
+// dst is an interface, src is a concrete non-pointer type (pointers and
+// interfaces fit the interface word directly), and src is not untyped nil.
+func boxes(src, dst types.Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	if !types.IsInterface(dst) || types.IsInterface(src) {
+		return false
+	}
+	if basic, ok := src.(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false // single-word types stored directly in the interface
+	}
+	return true
+}
+
+// checkFuncLitEscape flags closure literals that capture enclosing locals
+// and escape the frame.
+func checkFuncLitEscape(pkg *Package, enclosing *ast.FuncDecl, lit *ast.FuncLit, report func(token.Pos, string, ...any)) {
+	captured := capturesLocals(pkg, enclosing, lit)
+	if captured == "" {
+		return
+	}
+	// Allowed shapes: immediately-invoked, or passed to a callee whose
+	// func parameter provably does not escape (sort.Search).
+	switch use := litUse(enclosing, lit).(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(use.Fun) == ast.Expr(lit) {
+			return // immediately invoked: no escape
+		}
+		if sel, ok := ast.Unparen(use.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sort" && fn.Name() == "Search" {
+				return // sort.Search's predicate does not escape
+			}
+		}
+	}
+	report(lit.Pos(), "closure captures %s and escapes; captured variables move to the heap", captured)
+}
+
+// capturesLocals names the first enclosing-function local captured by lit
+// ("" when lit is capture-free).
+func capturesLocals(pkg *Package, enclosing *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: not a capture
+		}
+		// Captured iff declared inside the enclosing function but outside
+		// the literal.
+		if v.Pos() >= enclosing.Pos() && v.Pos() < enclosing.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+// litUse finds the innermost node that consumes lit (its parent).
+func litUse(enclosing *ast.FuncDecl, lit *ast.FuncLit) ast.Node {
+	var parent ast.Node
+	var stack []ast.Node
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if n == ast.Node(lit) && len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parent
+}
+
+// paramObjects collects the objects of decl's receiver, parameters and
+// named results — append destinations the caller presizes.
+func paramObjects(pkg *Package, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	if decl.Recv != nil {
+		addFields(decl.Recv)
+	}
+	addFields(decl.Type.Params)
+	addFields(decl.Type.Results)
+	return out
+}
+
+// presizedLocals collects locals bound to a capacity-bearing value anywhere
+// in body: a 3-arg make, a reslice (s[:0], s[a:b], s[a:b:c]) or another
+// presized local. The scan is flow-insensitive — one capacity-bearing
+// binding anywhere marks the variable presized, which is the conservative
+// direction for a style lint (the runtime AllocsPerRun tie catches lies).
+func presizedLocals(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	bearing := func(e ast.Expr) bool {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					return len(v.Args) == 3
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || !bearing(as.Rhs[i]) {
+				continue
+			}
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// panicArgPositions records the positions of call expressions that are
+// direct arguments to panic — cold paths exempt from the fmt ban.
+func panicArgPositions(body *ast.BlockStmt) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			for _, arg := range call.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+					out[inner.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -81,6 +81,19 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// SetTags marks the given build tags as satisfied, so files gated on them
+// (e.g. //go:build graphpart_invariants) load instead of their default
+// twins. Must be called before any package is loaded — tags select which
+// files exist, and a loader caches packages by import path.
+func (l *Loader) SetTags(tags ...string) {
+	if len(l.pkgs) > 0 {
+		panic("analysis: SetTags after packages were loaded")
+	}
+	for _, t := range tags {
+		l.tags[t] = true
+	}
+}
+
 // readModulePath extracts the module path from a go.mod file.
 func readModulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
@@ -113,7 +126,7 @@ func (l *Loader) Packages() ([]*Package, error) {
 				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		has, err := hasBuildableGoFiles(path)
+		has, err := l.hasBuildableGoFiles(path)
 		if err != nil {
 			return err
 		}
@@ -145,24 +158,42 @@ func (l *Loader) Packages() ([]*Package, error) {
 	return out, nil
 }
 
-// hasBuildableGoFiles reports whether dir holds at least one non-test .go file.
-func hasBuildableGoFiles(dir string) (bool, error) {
+// hasBuildableGoFiles reports whether dir holds at least one non-test .go
+// file that survives build-tag filtering — a directory whose every file is
+// gated on unsatisfied tags is not a package under the current tag set,
+// exactly as `go build` treats it, and must be skipped rather than fail the
+// load.
+func (l *Loader) hasBuildableGoFiles(dir string) (bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return false, err
 	}
 	for _, e := range entries {
-		if isSourceFile(e) {
+		if !isSourceFile(e) {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return false, err
+		}
+		ok, err := l.satisfiesConstraints(src)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", filepath.Join(dir, e.Name()), err)
+		}
+		if ok {
 			return true, nil
 		}
 	}
 	return false, nil
 }
 
+// isSourceFile matches the files `go build` would consider: .go, not a test
+// file, and not .- or _-prefixed (the toolchain ignores both prefixes).
 func isSourceFile(e os.DirEntry) bool {
 	name := e.Name()
 	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
 // ensure returns the checked package for a module-internal import path,

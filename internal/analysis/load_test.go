@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTagModule lays out a throwaway module exercising the loader's file
+// selection: a root package with a build-tag twin pair, a subdirectory
+// whose only file is gated on an unsatisfied tag, and decoys (_-prefixed
+// and _test.go files full of invalid Go) the loader must never read.
+func writeTagModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tagmod\n\ngo 1.22\n",
+		"fixture.go": `// Package tagmod is a loader fixture.
+package tagmod
+
+// Variant names the build variant that was loaded.
+func Variant() string { return variant }
+`,
+		"enabled.go": `//go:build demo_tag
+
+package tagmod
+
+const variant = "tagged"
+`,
+		"disabled.go": `//go:build !demo_tag
+
+package tagmod
+
+const variant = "default"
+`,
+		// Only file in its directory, gated off by default: the directory is
+		// not a package under the default tag set and must be skipped, not
+		// fail the walk.
+		"gated/gated.go": `//go:build demo_tag
+
+// Package gated only exists under -tags demo_tag.
+package gated
+
+// On reports the gate fired.
+func On() bool { return true }
+`,
+		// The toolchain ignores _-prefixed and test files; so must the
+		// loader. Invalid Go proves they are never parsed.
+		"_broken.go":      "this is not Go",
+		"broken_test.go":  "neither is this",
+		"gated/_junk.go":  "nor this",
+		"gated/x_test.go": "package different_package_name_entirely!",
+	}
+	for name, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func loadedFiles(t *testing.T, pkg *Package) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		out[filepath.Base(pkg.Fset.Position(f.Package).Filename)] = true
+	}
+	return out
+}
+
+// TestLoaderBuildTagFiltering pins the loader's `go build` parity: under the
+// default tag set the //go:build demo_tag file is excluded and its !demo_tag
+// twin loads; a directory whose every file is gated out is skipped rather
+// than reported as a broken package.
+func TestLoaderBuildTagFiltering(t *testing.T) {
+	root := writeTagModule(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/tagmod" {
+		t.Fatalf("default load: want just the root package, got %d packages", len(pkgs))
+	}
+	files := loadedFiles(t, pkgs[0])
+	if !files["fixture.go"] || !files["disabled.go"] {
+		t.Errorf("default load missing untagged files: %v", files)
+	}
+	if files["enabled.go"] {
+		t.Errorf("default load included the demo_tag-gated file: %v", files)
+	}
+}
+
+// TestLoaderSetTags flips the tag on: the tagged twin replaces the default
+// one, and the previously tag-excluded directory becomes a package.
+func TestLoaderSetTags(t *testing.T) {
+	root := writeTagModule(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetTags("demo_tag")
+	pkgs, err := l.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	rootPkg := byPath["example.com/tagmod"]
+	if rootPkg == nil {
+		t.Fatalf("tagged load lost the root package: %d packages", len(pkgs))
+	}
+	files := loadedFiles(t, rootPkg)
+	if !files["enabled.go"] || files["disabled.go"] {
+		t.Errorf("tagged load picked the wrong twin: %v", files)
+	}
+	if byPath["example.com/tagmod/gated"] == nil {
+		t.Errorf("tagged load skipped the now-buildable gated package")
+	}
+	if len(pkgs) != 2 {
+		t.Errorf("tagged load: want 2 packages, got %d", len(pkgs))
+	}
+}
+
+// TestLoaderSetTagsAfterLoadPanics pins the ordering contract: tags select
+// which files exist, so changing them after a package was cached would
+// silently serve stale packages.
+func TestLoaderSetTagsAfterLoadPanics(t *testing.T) {
+	root := writeTagModule(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Packages(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTags after load did not panic")
+		}
+	}()
+	l.SetTags("demo_tag")
+}

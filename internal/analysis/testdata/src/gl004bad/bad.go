@@ -28,8 +28,8 @@ func RacySum(xs []float64) float64 {
 func PoolSum(xs []float64) float64 {
 	var total float64
 	parallel.ForEach(len(xs), 0, func(i int) {
-		total += xs[i] // want GL004
-		total -= 0.5   // want GL004
+		total += xs[i] // want GL004 GL011
+		total -= 0.5   // want GL004 GL011
 	})
 	return total
 }

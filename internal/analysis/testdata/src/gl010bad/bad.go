@@ -1,0 +1,104 @@
+// Package gl010bad seeds hot-path allocation violations: one function per
+// pattern hotPathHits bans, plus the two malformed-annotation shapes.
+package gl010bad
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grow collects values into a local that was never given a capacity, so
+// every growth reallocates.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Grow
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want GL010
+	}
+	return out
+}
+
+// Sum folds a map on the hot path: nondeterministic order plus a hidden
+// iterator allocation.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Sum
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want GL010
+		total += v
+	}
+	return total
+}
+
+// Describe is clean itself; the violation is one hop down in its helper,
+// so the finding must carry the Describe -> label route.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Describe
+func Describe(id int) string {
+	return label(id)
+}
+
+func label(id int) string {
+	return fmt.Sprintf("edge-%d", id) // want GL010
+}
+
+// Batch remakes its scratch slice every iteration.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Batch
+func Batch(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		scratch := make([]int, 8) // want GL010
+		total += len(scratch)
+	}
+	return total
+}
+
+// Close defers inside its loop: one defer frame per iteration.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Close
+func Close(fns []func()) {
+	for _, fn := range fns {
+		defer fn() // want GL010
+	}
+}
+
+// Box re-boxes its value on every call via an interface-typed assignment.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Box
+func Box(v int) any {
+	var out any
+	out = v // want GL010
+	return out
+}
+
+// Spawn returns a closure capturing a local, forcing both to the heap.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Spawn
+func Spawn() func() int {
+	total := 0
+	return func() int { // want GL010
+		total++
+		return total
+	}
+}
+
+// Order sorts with the reflection-based helper, which both boxes its
+// closure (escape hit) and swaps via reflect (sort.Slice hit).
+//
+//graphpart:hotpath test=TestHotPathAllocs_Order
+func Order(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want GL010 GL010
+}
+
+// Fast is annotated without the mandatory test= link, so the annotation
+// itself is the finding.
+//
+//graphpart:hotpath // want GL010
+func Fast(x int) int {
+	return x * 2
+}
+
+//graphpart:hotpath test=TestNothing // want GL010
+var sink int

@@ -1,0 +1,81 @@
+// Package gl010ok shows the allocation-clean hot-path shapes: presized and
+// reused buffers, concrete sort.Interface, non-escaping closures, and
+// invariants-gated cold code the analyzer must not follow.
+package gl010ok
+
+import (
+	"sort"
+
+	"github.com/graphpart/graphpart/internal/invariants"
+)
+
+// Collect appends into a local presized by a 3-arg make.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Collect
+func Collect(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Refill reuses the caller's buffer through a reslice, the standard
+// amortized-zero append shape.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Refill
+func Refill(buf []int, n int) []int {
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// byValue orders ints ascending as a concrete sort.Interface.
+type byValue []int
+
+func (s byValue) Len() int           { return len(s) }
+func (s byValue) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s byValue) Less(i, j int) bool { return s[i] < s[j] }
+
+// Order sorts via sort.Sort on a concrete type: no closure boxing, no
+// reflection swaps.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Order
+func Order(xs []int) {
+	sort.Sort(byValue(xs))
+}
+
+// Find uses sort.Search, whose predicate provably does not escape.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Find
+func Find(xs []int, target int) int {
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= target })
+}
+
+// Step indexes the hot row; the audit call below it is dead-coded unless
+// the graphpart_invariants build tag is set, so the map range inside audit
+// must not be attributed to Step's hot path.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Step
+func Step(xs []int, seen map[int]bool, i int) int {
+	if invariants.Enabled {
+		audit(seen)
+	}
+	return xs[i]
+}
+
+// audit ranges a map — a GL010 pattern, reachable only through the
+// dead-coded guard above.
+func audit(seen map[int]bool) {
+	n := 0
+	for range seen {
+		n++
+	}
+	if n < 0 {
+		panic("impossible")
+	}
+}

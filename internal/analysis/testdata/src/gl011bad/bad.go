@@ -1,0 +1,54 @@
+// Package gl011bad seeds parallel-closure write violations: every way a
+// worker closure can touch captured state other than an index-addressed
+// slot.
+package gl011bad
+
+import "github.com/graphpart/graphpart/internal/parallel"
+
+// SumRace accumulates a captured float from worker closures: a data race,
+// an arrival-ordered sum (GL004), and a captured-scalar write (GL011).
+func SumRace(xs []float64) float64 {
+	total := 0.0
+	parallel.ForEach(len(xs), 0, func(i int) {
+		total += xs[i] // want GL004 GL011
+	})
+	return total
+}
+
+// CountRace writes into a captured map: concurrent map writes panic.
+func CountRace(keys []int) map[int]int {
+	counts := map[int]int{}
+	parallel.ForEach(len(keys), 0, func(i int) {
+		counts[keys[i]]++ // want GL011
+	})
+	return counts
+}
+
+// BestRace writes through a captured pointer: the same race one
+// indirection later.
+func BestRace(xs []int, best *int) {
+	parallel.ForEach(len(xs), 0, func(i int) {
+		if xs[i] > *best {
+			*best = xs[i] // want GL011
+		}
+	})
+}
+
+// NextRace bumps a captured counter per element.
+func NextRace(n int) int {
+	k := 0
+	parallel.ForEach(n, 0, func(i int) {
+		k++ // want GL011
+	})
+	return k
+}
+
+// ScaleRace writes a captured scalar from a Map closure instead of just
+// returning the value.
+func ScaleRace(xs []int) []int {
+	last := 0
+	return parallel.Map(len(xs), 0, func(i int) int {
+		last = xs[i] // want GL011
+		return last * 2
+	})
+}

@@ -1,0 +1,33 @@
+// Package gl011ok shows the sanctioned parallel-closure shapes: each worker
+// writes its own index-addressed slot or returns its value, and closure
+// locals declared with := are free game.
+package gl011ok
+
+import "github.com/graphpart/graphpart/internal/parallel"
+
+// Scale writes each worker's result into its own slot of a shared slice —
+// the slot-accumulator convention.
+func Scale(xs []int) []int {
+	out := make([]int, len(xs))
+	parallel.ForEach(len(xs), 0, func(i int) {
+		v := xs[i] * 2
+		out[i] = v
+	})
+	return out
+}
+
+// Double returns results through parallel.Map, so no captured state is
+// written at all.
+func Double(xs []int) []int {
+	return parallel.Map(len(xs), 0, func(i int) int {
+		return xs[i] * 2
+	})
+}
+
+// Stamp writes through an index into a captured slice of structs — still
+// index-addressed, still one owner per slot.
+func Stamp(marks []struct{ Seen bool }) {
+	parallel.ForEach(len(marks), 0, func(i int) {
+		marks[i].Seen = true
+	})
+}

@@ -1,0 +1,13 @@
+// Package stale carries a well-formed lint:ignore directive whose finding
+// no longer fires: the -audit corpus case. The directive once silenced a
+// GL001 on a map-range accumulation that a refactor replaced with the
+// sorted-slice idiom, and nobody deleted it.
+package stale
+
+import "sort"
+
+// Tidy sorts in place; nothing on the next line triggers GL001 any more.
+func Tidy(xs []int) {
+	//lint:ignore GL001 collect-then-sort predates the sorted-slice refactor
+	sort.Ints(xs)
+}

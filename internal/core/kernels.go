@@ -90,6 +90,8 @@ func (st *runState) initHubBitsets() {
 // killEdge retires an assigned edge from every Stage-I structure: the
 // compacted alive rows of both endpoints and, for hub endpoints, the
 // persistent neighbourhood bitsets.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Stage1Kernels
 func (st *runState) killEdge(e graph.EdgeID) {
 	st.alive.remove(e)
 	ed := st.alive.edges[e]
@@ -104,6 +106,8 @@ func (st *runState) killEdge(e graph.EdgeID) {
 // markAlive stamps a's alive neighbourhood for the scan kernel and returns
 // the mark, or 0 when a is a hub (its persistent bitset already answers
 // membership and no stamping is needed).
+//
+//graphpart:hotpath test=TestHotPathAllocs_Stage1Kernels
 func (st *runState) markAlive(a graph.Vertex) int32 {
 	if st.hubBits[a] != nil {
 		return 0
@@ -120,6 +124,8 @@ func (st *runState) markAlive(a graph.Vertex) int32 {
 // Precondition: markAlive(a) was called with the returned mark (hubs need no
 // marks). The function only reads shared state, so concurrent calls for
 // distinct b are safe while no absorption is in flight.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Stage1Kernels
 func (st *runState) overlapAlive(a, b graph.Vertex, mark int32) (int, kernelKind) {
 	da, db := int(st.alive.n[a]), int(st.alive.n[b])
 	wa, wb := st.hubBits[a], st.hubBits[b]
@@ -199,6 +205,8 @@ func (st *runState) gallopRows(a, b graph.Vertex) int {
 // The scaled count intentionally over- or under-shoots the true overlap —
 // it is a documented fidelity/speed trade, which is why capped runs use
 // this helper for every intersection instead of the exact kernels.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Stage1Kernels
 func (st *runState) sampledOverlap(x graph.Vertex, mark int32) int {
 	g := st.g
 	xn := g.Neighbors(x)

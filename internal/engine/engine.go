@@ -206,20 +206,26 @@ func New(g *graph.Graph, a *partition.Assignment) (*Engine, error) {
 		m.acc = make([][]float64, nl)
 		m.flush = make([]*GatherFlush, nl)
 		m.bcast = make([][]*ApplyBroadcast, nl)
+		m.notice = make([]*Activate, nl)
+		m.fan = make([][]*Activate, nl)
 		for i := range m.verts {
 			if m.isMaster[i] {
 				m.acc[i] = make([]float64, m.degree[i])
 				bs := make([]*ApplyBroadcast, len(m.mirrorMachine[i]))
+				fs := make([]*Activate, len(m.mirrorMachine[i]))
 				for mi := range bs {
 					bs[mi] = &ApplyBroadcast{MirrorLocal: m.mirrorLidx[i][mi]}
+					fs[mi] = &Activate{Local: m.mirrorLidx[i][mi]}
 				}
 				m.bcast[i] = bs
+				m.fan[i] = fs
 			} else {
 				m.flush[i] = &GatherFlush{
 					MasterLocal: m.masterLidx[i],
 					Slots:       m.adjSlot[i],
 					Contribs:    make([]float64, len(m.adjSlot[i])),
 				}
+				m.notice[i] = &Activate{Local: m.masterLidx[i]}
 			}
 		}
 		e.stats.TotalReplicas += nl

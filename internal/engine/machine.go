@@ -85,6 +85,14 @@ type machine struct {
 	flush []*GatherFlush
 	// bcast[i] holds one reusable broadcast per mirror of a mastered vertex.
 	bcast [][]*ApplyBroadcast
+	// notice[i] is the reusable escalation notice for verts[i], addressed to
+	// the master replica's local index (nil for locally-mastered vertices);
+	// fan[i] holds one reusable activation fan-out per mirror of a mastered
+	// vertex. Activate carries nothing but the immutable Local index, so
+	// resending the same message every superstep is safe — the same reuse
+	// contract flush and bcast rely on.
+	notice []*Activate
+	fan    [][]*Activate
 	// activeMasters is the post-finalize count of active mastered vertices;
 	// the coordinator reads it between supersteps to decide termination.
 	activeMasters int
@@ -140,6 +148,8 @@ func (m *machine) reset(prog Program, tr Transport) {
 // gather computes this machine's per-arc contributions for every active
 // local replica. Masters write straight into their dense accumulator;
 // mirrors fill their reusable flush and send it to the master machine.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Superstep
 func (m *machine) gather() {
 	for i := range m.verts {
 		if !m.active[i] {
@@ -168,6 +178,8 @@ func (m *machine) gather() {
 // mastered vertex's accumulator in canonical slot order (bit-identical to a
 // sequential fold over the sorted neighbour list), applies, and broadcasts
 // the outcome to every mirror.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Superstep
 func (m *machine) apply() {
 	for _, msg := range m.drainInbox() {
 		f := msg.(*GatherFlush)
@@ -206,6 +218,8 @@ func (m *machine) apply() {
 // changed replica. A wake of a vertex whose master may believe it inactive
 // is escalated with an Activate notice to the master machine; the
 // nextActive flag doubles as the per-machine dedup.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Superstep
 func (m *machine) scatter() {
 	for _, msg := range m.drainInbox() {
 		b := msg.(*ApplyBroadcast)
@@ -226,7 +240,7 @@ func (m *machine) scatter() {
 			}
 			m.nextActive[w] = true
 			if mk := m.masterMachine[w]; int(mk) != m.id {
-				m.tr.Send(m.id, int(mk), &Activate{Local: m.masterLidx[w]})
+				m.tr.Send(m.id, int(mk), m.notice[w])
 			}
 		}
 	}
@@ -235,6 +249,8 @@ func (m *machine) scatter() {
 // activate drains notices at masters and fans activation out to the
 // mirrors of every vertex that ended up active beyond what its broadcast
 // said — so all replicas agree on the activation set before finalize.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Superstep
 func (m *machine) activate() {
 	for _, msg := range m.drainInbox() {
 		m.nextActive[msg.(*Activate).Local] = true
@@ -244,7 +260,7 @@ func (m *machine) activate() {
 			continue
 		}
 		for mi, mm := range m.mirrorMachine[i] {
-			m.tr.Send(m.id, int(mm), &Activate{Local: m.mirrorLidx[i][mi]})
+			m.tr.Send(m.id, int(mm), m.fan[i][mi])
 		}
 	}
 }
@@ -252,6 +268,8 @@ func (m *machine) activate() {
 // finalize drains activation fan-outs, promotes nextActive to active,
 // clears the per-superstep flags and counts the active masters the
 // coordinator uses for the termination check.
+//
+//graphpart:hotpath test=TestHotPathAllocs_Superstep
 func (m *machine) finalize() {
 	for _, msg := range m.drainInbox() {
 		m.nextActive[msg.(*Activate).Local] = true

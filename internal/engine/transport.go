@@ -23,7 +23,9 @@ type Transport interface {
 	Flip()
 	// Drain removes and returns machine k's delivered inbox, grouped by
 	// ascending sender id with per-sender order preserved. Only machine k
-	// may drain inbox k.
+	// may drain inbox k. The returned slice is valid until the next
+	// Drain(k) — implementations reuse the backing buffer, so callers
+	// consume the batch before draining again (the runtime's phases do).
 	Drain(k int) []Message
 	// Totals returns the cumulative per-kind traffic counters.
 	Totals() Totals
@@ -114,6 +116,9 @@ type MemTransport struct {
 	bytes     [][]int64
 	kindMsgs  [][numKinds]int64
 	kindBytes [][numKinds]int64
+	// drain[k] is inbox k's reusable drain buffer; each Drain(k) refills it
+	// in place, honouring the interface's valid-until-next-Drain contract.
+	drain [][]Message
 }
 
 // NewMemTransport returns an in-process transport for p machines.
@@ -126,6 +131,7 @@ func NewMemTransport(p int) *MemTransport {
 		bytes:     make([][]int64, p),
 		kindMsgs:  make([][numKinds]int64, p),
 		kindBytes: make([][numKinds]int64, p),
+		drain:     make([][]Message, p),
 	}
 	for i := 0; i < p; i++ {
 		t.sending[i] = make([][]Message, p)
@@ -152,9 +158,11 @@ func (t *MemTransport) Flip() {
 	t.sending, t.delivered = t.delivered, t.sending
 }
 
-// Drain implements Transport.
+// Drain implements Transport. The batch is collected into inbox k's
+// reusable buffer: once the first supersteps grow it to the inbox's
+// high-water mark, steady-state drains allocate nothing.
 func (t *MemTransport) Drain(k int) []Message {
-	var out []Message
+	out := t.drain[k][:0]
 	for from := 0; from < t.p; from++ {
 		q := t.delivered[from][k]
 		if len(q) == 0 {
@@ -163,6 +171,7 @@ func (t *MemTransport) Drain(k int) []Message {
 		out = append(out, q...)
 		t.delivered[from][k] = q[:0]
 	}
+	t.drain[k] = out
 	return out
 }
 

@@ -239,6 +239,8 @@ func (s *State) endpointDelta(v graph.Vertex, from, to int) int {
 // delta (negative = replicas removed). Moving an edge to its own partition
 // is a no-op. Moves are exactly reversible: Move(e, from) undoes Move(e, to)
 // and returns the negated delta.
+//
+//graphpart:hotpath test=TestHotPathAllocs_MoveSwap
 func (s *State) Move(e graph.EdgeID, to int) int {
 	from, ok := s.a.PartitionOf(e)
 	if !ok {
@@ -263,6 +265,8 @@ func (s *State) Move(e graph.EdgeID, to int) int {
 // Swap exchanges the partitions of two edges (e1 to e2's partition and vice
 // versa), leaving every load unchanged, and returns the realized
 // TotalReplicas delta. Swapping edges of the same partition is a no-op.
+//
+//graphpart:hotpath test=TestHotPathAllocs_MoveSwap
 func (s *State) Swap(e1, e2 graph.EdgeID) int {
 	k1, ok1 := s.a.PartitionOf(e1)
 	k2, ok2 := s.a.PartitionOf(e2)
@@ -347,6 +351,7 @@ func (s *State) inc(v graph.Vertex, k int) bool {
 		row[i].c++
 		return false
 	}
+	//lint:ignore GL010 amortized row growth on the sparse p>64 path only; the p<=64 hot path above is alloc-free
 	row = append(row, partCount{})
 	copy(row[i+1:], row[i:])
 	row[i] = partCount{k: int32(k), c: 1}

@@ -1,0 +1,69 @@
+package refine
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/rng"
+)
+
+// TestHotPathAllocs_RefineScoring is the cross-check named by the
+// //graphpart:hotpath annotations on scoreVacate, vacateGain and scoreSide.
+// The vacate pair works entirely in caller scratch, so steady-state calls
+// allocate nothing. scoreSide returns a fresh candidate list by contract;
+// its assertion is that the allocation count is a small constant —
+// independent of how many edges are scored — not zero.
+func TestHotPathAllocs_RefineScoring(t *testing.T) {
+	g := randomGraph(5, 200, 400)
+	const p = 8
+	a := partition.MustNew(g.NumEdges(), p)
+	r := rng.New(11)
+	for id := 0; id < g.NumEdges(); id++ {
+		a.Assign(graph.EdgeID(id), r.Intn(p))
+	}
+	st, err := partition.NewState(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &runner{g: g, st: st, capC: g.NumEdges(), minGain: 1, workers: 1}
+
+	var v graph.Vertex
+	found := false
+	for i := 0; i < g.NumVertices(); i++ {
+		if st.Replicas(graph.Vertex(i)) >= 2 {
+			v, found = graph.Vertex(i), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("random assignment produced no spanned vertex")
+	}
+	parts := make([]int, 0, p)
+	others := make(map[int][]graph.Vertex, p)
+	edges := make([]graph.EdgeID, 0, g.NumEdges())
+	_ = run.scoreVacate(v, parts, others) // warm the scratch map's slices
+	pp := st.Partitions(v, parts)
+	from, to := pp[0], pp[1]
+	if allocs := testing.AllocsPerRun(300, func() {
+		_ = run.scoreVacate(v, parts, others)
+		_, edges = run.vacateGain(v, from, to, edges[:0])
+	}); allocs != 0 {
+		t.Fatalf("vacate scoring allocates %.1f times per call pair", allocs)
+	}
+
+	bnd := st.AppendBoundary(nil)
+	if len(bnd) < 20 {
+		t.Fatalf("boundary too small to measure: %d edges", len(bnd))
+	}
+	measure := func(edges []graph.EdgeID) float64 {
+		return testing.AllocsPerRun(300, func() {
+			_ = scoreSide(st, edges, to)
+		})
+	}
+	aSmall, aLarge := measure(bnd[:10]), measure(bnd)
+	if aSmall != aLarge || aLarge > 2 {
+		t.Fatalf("scoreSide allocations must be a small constant: %d edges -> %.1f, %d edges -> %.1f",
+			10, aSmall, len(bnd), aLarge)
+	}
+}

@@ -224,6 +224,8 @@ func (r *runner) movePhase() (moves, edgesMoved, gainTotal int) {
 // current state: highest gain, ties to the smallest from then to. The caller
 // passes scratch buffers; `others` maps each of v's partitions to the far
 // endpoints of v's edges there and is wiped per call.
+//
+//graphpart:hotpath test=TestHotPathAllocs_RefineScoring
 func (r *runner) scoreVacate(v graph.Vertex, parts []int, others map[int][]graph.Vertex) vacate {
 	st := r.st
 	parts = st.Partitions(v, parts)
@@ -267,6 +269,8 @@ func (r *runner) scoreVacate(v graph.Vertex, parts []int, others map[int][]graph
 // vacateGain exactly evaluates moving all of v's edges in `from` to `to`
 // against the live state, returning the replica reduction and the edge list.
 // Unlike scoreVacate it does not assume v currently occupies `to`.
+//
+//graphpart:hotpath test=TestHotPathAllocs_RefineScoring
 func (r *runner) vacateGain(v graph.Vertex, from, to int, edges []graph.EdgeID) (int, []graph.EdgeID) {
 	st := r.st
 	gain := 1 // v leaves `from` (every edge there is moved)
@@ -383,21 +387,33 @@ func (r *runner) swapPhase() (swaps, gainTotal int) {
 // the phase-start state, returning at most maxSwapCandidates candidates with
 // non-negative gain, ordered (gain desc, edge id asc). A zero-gain edge is
 // kept: paired with a positive-gain partner the exchange still wins.
+//
+//graphpart:hotpath test=TestHotPathAllocs_RefineScoring
 func scoreSide(st *partition.State, edges []graph.EdgeID, to int) []swapCand {
-	var out []swapCand
+	out := make([]swapCand, 0, len(edges))
 	for _, e := range edges {
 		if g := -st.MoveDelta(e, to); g >= 0 {
 			out = append(out, swapCand{e: e, gain: int32(g)})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].gain != out[b].gain {
-			return out[a].gain > out[b].gain
-		}
-		return out[a].e < out[b].e
-	})
+	sort.Sort(swapCandsByGain(out))
 	if len(out) > maxSwapCandidates {
 		out = out[:maxSwapCandidates]
 	}
 	return out
+}
+
+// swapCandsByGain orders candidates gain-descending with edge id as the
+// strict tiebreak — the same total order the sort.Slice closure used to
+// encode, now as a concrete sort.Interface so scoreSide stays off the
+// reflection path and allocation-constant per call.
+type swapCandsByGain []swapCand
+
+func (s swapCandsByGain) Len() int      { return len(s) }
+func (s swapCandsByGain) Swap(a, b int) { s[a], s[b] = s[b], s[a] }
+func (s swapCandsByGain) Less(a, b int) bool {
+	if s[a].gain != s[b].gain {
+		return s[a].gain > s[b].gain
+	}
+	return s[a].e < s[b].e
 }

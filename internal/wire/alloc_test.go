@@ -1,0 +1,29 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/graphpart/graphpart/internal/engine"
+)
+
+// TestHotPathAllocs_AppendMessage is the cross-check named by the
+// //graphpart:hotpath annotation on AppendMessage: framing all three
+// message kinds into a presized buffer allocates nothing — the encoder
+// only ever appends into the caller's slice.
+func TestHotPathAllocs_AppendMessage(t *testing.T) {
+	gf := &engine.GatherFlush{
+		MasterLocal: 3,
+		Slots:       []int32{0, 2, 5},
+		Contribs:    []float64{0.5, 1.5, 2.5},
+	}
+	ab := &engine.ApplyBroadcast{MirrorLocal: 7, Value: 0.25, Changed: true, Active: true}
+	ac := &engine.Activate{Local: 9}
+	buf := make([]byte, 0, 4096)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendMessage(buf[:0], gf)
+		buf = AppendMessage(buf, ab)
+		buf = AppendMessage(buf, ac)
+	}); allocs != 0 {
+		t.Fatalf("AppendMessage into a presized buffer allocates %.1f times per batch", allocs)
+	}
+}

@@ -34,6 +34,8 @@ func FramedSize(m engine.Message) int { return FrameHeaderSize + m.WireSize() }
 
 // AppendMessage appends m as one complete frame to buf and returns the
 // extended slice.
+//
+//graphpart:hotpath test=TestHotPathAllocs_AppendMessage
 func AppendMessage(buf []byte, m engine.Message) []byte {
 	switch m := m.(type) {
 	case *engine.GatherFlush:
