@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ignoredKeys are environment metadata: expected to differ between any two
+// snapshot runs and never gated or drift-checked.
+var ignoredKeys = map[string]bool{
+	"generated_at": true,
+	"go_version":   true,
+	"goos":         true,
+	"goarch":       true,
+	"num_cpu":      true,
+	"gomaxprocs":   true,
+}
+
+// identityKeys name array entries: two entries from baseline and candidate
+// arrays are the same measurement when every identity key they carry
+// matches. Their values are compared exactly, never thresholded.
+var identityKeys = []string{"dataset", "algorithm", "p", "transport", "workers", "program", "name", "experiment"}
+
+// higherIsWorse marks metrics where the candidate exceeding the baseline is
+// a regression: times, allocations, traffic, replication.
+var higherIsWorse = map[string]bool{
+	"seconds":            true,
+	"alloc_bytes":        true,
+	"mallocs":            true,
+	"bytes":              true,
+	"messages":           true,
+	"rf":                 true,
+	"balance":            true,
+	"replication_factor": true,
+	"control_bytes":      true,
+	"overhead_ratio":     true,
+}
+
+// lowerIsWorse marks metrics where falling below the baseline is a
+// regression.
+var lowerIsWorse = map[string]bool{
+	"speedup": true,
+}
+
+// gateDirection classifies a metric key: +1 higher-is-worse, -1
+// lower-is-worse, 0 ungated (informational). Any "*_seconds" key is a
+// duration and therefore higher-is-worse.
+func gateDirection(key string) int {
+	switch {
+	case higherIsWorse[key] || strings.HasSuffix(key, "_seconds"):
+		return +1
+	case lowerIsWorse[key]:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Report is the outcome of one snapshot comparison.
+type Report struct {
+	Gated       int      // gated numeric metrics checked
+	Compared    []string // human-readable per-metric lines for gated metrics
+	Regressions []string // gated metrics beyond the threshold
+	Drift       []string // structural differences (missing keys, type changes)
+}
+
+// Compare walks baseline and candidate JSON values in parallel, gating
+// direction-known numeric leaves by the relative threshold and reporting
+// any structural difference as drift.
+func Compare(base, cand any, threshold float64) *Report {
+	r := &Report{}
+	r.compare("", base, cand, threshold)
+	return r
+}
+
+func (r *Report) compare(path string, base, cand any, threshold float64) {
+	switch b := base.(type) {
+	case map[string]any:
+		c, ok := cand.(map[string]any)
+		if !ok {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: object became %T", path, cand))
+			return
+		}
+		for _, k := range sortedKeys(b) {
+			if ignoredKeys[k] {
+				continue
+			}
+			cv, ok := c[k]
+			if !ok {
+				r.Drift = append(r.Drift, fmt.Sprintf("%s: key %q missing from candidate", path, k))
+				continue
+			}
+			r.compare(joinPath(path, k), b[k], cv, threshold)
+		}
+		for _, k := range sortedKeys(c) {
+			if _, ok := b[k]; !ok && !ignoredKeys[k] {
+				r.Drift = append(r.Drift, fmt.Sprintf("%s: key %q missing from baseline", path, k))
+			}
+		}
+	case []any:
+		c, ok := cand.([]any)
+		if !ok {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: array became %T", path, cand))
+			return
+		}
+		r.compareArrays(path, b, c, threshold)
+	case float64:
+		c, ok := cand.(float64)
+		if !ok {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: number became %T", path, cand))
+			return
+		}
+		r.compareNumber(path, b, c, threshold)
+	default:
+		// Strings, booleans, nulls: identity fields and flags must match
+		// exactly or the snapshots measure different things.
+		if base != cand {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: %v != %v", path, base, cand))
+		}
+	}
+}
+
+// compareNumber gates one numeric leaf by its key's known direction.
+func (r *Report) compareNumber(path string, base, cand, threshold float64) {
+	key := path
+	if i := strings.LastIndexAny(path, "./"); i >= 0 {
+		key = path[i+1:]
+	}
+	dir := gateDirection(key)
+	if dir == 0 {
+		// Ungated numbers (identity-ish counts like supersteps or worker
+		// totals) must still agree in kind: a sign flip or zeroing of a
+		// previously-positive metric is drift, not noise.
+		if (base > 0) != (cand > 0) {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: %v became %v", path, base, cand))
+		}
+		return
+	}
+	r.Gated++
+	rel := 0.0
+	if base != 0 {
+		rel = (cand - base) / base
+	} else if cand != 0 {
+		rel = float64(dir) * threshold * 2 // from zero: any growth is beyond threshold
+	}
+	r.Compared = append(r.Compared, fmt.Sprintf("%s: %v -> %v (%+.1f%%)", path, base, cand, 100*rel))
+	if float64(dir)*rel > threshold {
+		r.Regressions = append(r.Regressions, fmt.Sprintf("%s: %v -> %v (%+.1f%% beyond %.0f%%)",
+			path, base, cand, 100*rel, 100*threshold))
+	}
+}
+
+// compareArrays matches entries by identity keys when both sides hold
+// objects, otherwise by index. Unmatched entries on either side are drift.
+func (r *Report) compareArrays(path string, base, cand []any, threshold float64) {
+	bids, bObjs := arrayIdentities(base)
+	cids, cObjs := arrayIdentities(cand)
+	if !bObjs || !cObjs {
+		if len(base) != len(cand) {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: length %d != %d", path, len(base), len(cand)))
+			return
+		}
+		for i := range base {
+			r.compare(fmt.Sprintf("%s[%d]", path, i), base[i], cand[i], threshold)
+		}
+		return
+	}
+	cByID := make(map[string]any, len(cand))
+	for i, id := range cids {
+		cByID[id] = cand[i]
+	}
+	matched := make(map[string]bool, len(base))
+	for i, id := range bids {
+		cv, ok := cByID[id]
+		if !ok {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: entry %s missing from candidate", path, id))
+			continue
+		}
+		matched[id] = true
+		r.compare(fmt.Sprintf("%s[%s]", path, id), base[i], cv, threshold)
+	}
+	for _, id := range cids {
+		if !matched[id] {
+			r.Drift = append(r.Drift, fmt.Sprintf("%s: entry %s missing from baseline", path, id))
+		}
+	}
+}
+
+// arrayIdentities derives the identity label of every array entry; ok is
+// false unless every entry is an object carrying at least one identity key.
+func arrayIdentities(arr []any) ([]string, bool) {
+	ids := make([]string, len(arr))
+	for i, v := range arr {
+		obj, isObj := v.(map[string]any)
+		if !isObj {
+			return nil, false
+		}
+		var parts []string
+		for _, k := range identityKeys {
+			if val, ok := obj[k]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, val))
+			}
+		}
+		if len(parts) == 0 {
+			return nil, false
+		}
+		ids[i] = "{" + strings.Join(parts, ",") + "}"
+	}
+	return ids, true
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) //lint:ignore GL001 sorted on the next line
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+// loadJSON reads and decodes one snapshot file.
+func loadJSON(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snap returns a small benchsnap-shaped document for diffing.
+func snap() map[string]any {
+	return map[string]any{
+		"goos":         "linux",
+		"generated_at": "2026-01-01T00:00:00Z",
+		"seed":         42.0,
+		"cells": []any{
+			map[string]any{"dataset": "G1", "algorithm": "tlp", "p": 10.0, "seconds": 1.0, "rf": 1.5, "alloc_bytes": 1000.0},
+			map[string]any{"dataset": "G2", "algorithm": "tlp", "p": 10.0, "seconds": 2.0, "rf": 1.8, "alloc_bytes": 2000.0},
+		},
+		"harness": map[string]any{"experiment": "fig8", "workers": 4.0, "parallel_seconds": 3.0, "speedup": 2.0},
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	r := Compare(snap(), snap(), 0.25)
+	if len(r.Regressions) != 0 || len(r.Drift) != 0 {
+		t.Fatalf("self-diff not clean: %+v", r)
+	}
+	if r.Gated < 6 {
+		t.Fatalf("only %d gated metrics in self-diff", r.Gated)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	cand := snap()
+	cand["cells"].([]any)[0].(map[string]any)["seconds"] = 1.2 // +20% < 25%
+	cand["generated_at"] = "2026-02-02T00:00:00Z"              // ignored metadata
+	cand["goos"] = "darwin"                                    // ignored metadata
+	r := Compare(snap(), cand, 0.25)
+	if len(r.Regressions) != 0 || len(r.Drift) != 0 {
+		t.Fatalf("within-threshold diff flagged: %+v", r)
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(map[string]any)
+	}{
+		{"seconds up", func(m map[string]any) {
+			m["cells"].([]any)[1].(map[string]any)["seconds"] = 100.0
+		}},
+		{"rf up", func(m map[string]any) {
+			m["cells"].([]any)[0].(map[string]any)["rf"] = 3.0
+		}},
+		{"speedup down", func(m map[string]any) {
+			m["harness"].(map[string]any)["speedup"] = 1.0
+		}},
+		{"seconds from zero", func(m map[string]any) {
+			m["harness"].(map[string]any)["parallel_seconds"] = 3.0
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := snap()
+			if tc.name == "seconds from zero" {
+				base["harness"].(map[string]any)["parallel_seconds"] = 0.0
+			}
+			cand := snap()
+			tc.mutate(cand)
+			r := Compare(base, cand, 0.25)
+			if len(r.Regressions) == 0 {
+				t.Fatalf("regression not caught; report %+v", r)
+			}
+			if len(r.Drift) != 0 {
+				t.Fatalf("regression misreported as drift: %+v", r.Drift)
+			}
+		})
+	}
+}
+
+func TestCompareCatchesDrift(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(map[string]any)
+		want   string
+	}{
+		{"missing metric", func(m map[string]any) {
+			delete(m["cells"].([]any)[0].(map[string]any), "seconds")
+		}, `key "seconds" missing from candidate`},
+		{"extra metric", func(m map[string]any) {
+			m["harness"].(map[string]any)["surprise"] = 1.0
+		}, `key "surprise" missing from baseline`},
+		{"type change", func(m map[string]any) {
+			m["cells"].([]any)[0].(map[string]any)["seconds"] = "fast"
+		}, "number became string"},
+		{"identity change", func(m map[string]any) {
+			m["cells"].([]any)[1].(map[string]any)["dataset"] = "G9"
+		}, "missing from candidate"},
+		{"identity value drift", func(m map[string]any) {
+			m["harness"].(map[string]any)["experiment"] = "fig9"
+		}, "fig8 != fig9"},
+		{"zeroed count", func(m map[string]any) {
+			m["harness"].(map[string]any)["workers"] = 0.0
+		}, "4 became 0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cand := snap()
+			tc.mutate(cand)
+			r := Compare(snap(), cand, 0.25)
+			if len(r.Drift) == 0 {
+				t.Fatalf("drift not caught; report %+v", r)
+			}
+			if !strings.Contains(strings.Join(r.Drift, "\n"), tc.want) {
+				t.Fatalf("drift %v does not mention %q", r.Drift, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunExitCodes drives the CLI end to end on real files: 0 for a clean
+// diff, 1 for a regression, 2 for drift and usage errors.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", snap())
+
+	regressed := snap()
+	regressed["cells"].([]any)[0].(map[string]any)["seconds"] = 100.0
+	drifted := snap()
+	delete(drifted["cells"].([]any)[0].(map[string]any), "rf")
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"identical", []string{base, write("same.json", snap())}, 0},
+		{"regressed", []string{base, write("regressed.json", regressed)}, 1},
+		{"drifted", []string{base, write("drifted.json", drifted)}, 2},
+		{"missing file", []string{base, filepath.Join(dir, "nope.json")}, 2},
+		{"bad usage", []string{base}, 2},
+		{"bad threshold", []string{"-threshold", "-1", base, base}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			if got := run(tc.args, &out, &errw); got != tc.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.want, out.String(), errw.String())
+			}
+		})
+	}
+}
+
+// TestRunOnCommittedBaselines self-diffs every committed BENCH_*.json: the
+// gate must accept its own baselines cleanly.
+func TestRunOnCommittedBaselines(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed baselines found: %v", err)
+	}
+	for _, path := range matches {
+		var out, errw bytes.Buffer
+		if got := run([]string{"-quiet", path, path}, &out, &errw); got != 0 {
+			t.Fatalf("self-diff of %s exited %d:\n%s%s", path, got, out.String(), errw.String())
+		}
+	}
+}

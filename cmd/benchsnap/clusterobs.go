@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/gen"
+	"github.com/graphpart/graphpart/internal/graph"
+	"github.com/graphpart/graphpart/internal/harness"
+	"github.com/graphpart/graphpart/internal/obs"
+	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/wire"
+)
+
+// ClusterObsCell is one telemetry-overhead measurement: the same
+// process-per-machine PageRank cluster run timed with telemetry off
+// (RunCluster) and on (RunClusterTraced, every worker recording spans and
+// shipping a snapshot at drain). The two runs must be bit-identical — the
+// overhead ratio is the entire observable cost of cluster-wide tracing.
+type ClusterObsCell struct {
+	Dataset              string  `json:"dataset"`
+	P                    int     `json:"p"`
+	Supersteps           int     `json:"supersteps"`
+	Messages             int64   `json:"messages"`
+	OffSeconds           float64 `json:"off_seconds"`
+	OnSeconds            float64 `json:"on_seconds"`
+	OverheadRatio        float64 `json:"overhead_ratio"`
+	Workers              int     `json:"workers"`
+	WorkerRecords        int     `json:"worker_records"`
+	MaxBarrierSkewMicros float64 `json:"max_barrier_skew_micros"`
+}
+
+// ClusterObsSnapshot is the JSON document the -cluster-obs probe writes
+// (BENCH_cluster_obs.json).
+type ClusterObsSnapshot struct {
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	NumCPU      int              `json:"num_cpu"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	GoVersion   string           `json:"go_version"`
+	Seed        uint64           `json:"seed"`
+	GeneratedAt string           `json:"generated_at"`
+	Dataset     string           `json:"dataset"`
+	Algorithm   string           `json:"algorithm"`
+	Program     string           `json:"program"`
+	Cells       []ClusterObsCell `json:"cells"`
+}
+
+// runClusterObsProbe partitions one dataset with TLP, then at each p runs
+// the PageRank cluster twice — telemetry off, telemetry on — asserting the
+// runs are bit-identical before recording the overhead. Requires main to
+// have called wire.MaybeWorker: each run re-execs this binary p times.
+func runClusterObsProbe(dataset string, seed uint64, ps []int, maxSupersteps int, out string, logw io.Writer) error {
+	var probe *gen.Dataset
+	for _, d := range append(gen.Datasets(), gen.SmallDatasets()...) {
+		if d.Notation == dataset {
+			d := d
+			probe = &d
+			break
+		}
+	}
+	if probe == nil {
+		return fmt.Errorf("unknown cluster-obs dataset %q", dataset)
+	}
+	g := probe.Generate(seed)
+
+	snap := ClusterObsSnapshot{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Dataset:     dataset,
+		Algorithm:   "tlp",
+		Program:     "pagerank",
+	}
+
+	wasEnabled := obs.Enabled()
+	defer func() {
+		if wasEnabled {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+	}()
+
+	for _, p := range ps {
+		alg := harness.Algorithms(seed)[0] // roster slot 0 is TLP
+		a, err := alg.Partition(g, p)
+		if err != nil {
+			return fmt.Errorf("cluster-obs: TLP on %s p=%d: %w", dataset, p, err)
+		}
+		cell, err := timeClusterObs(g, a, dataset, p, maxSupersteps)
+		if err != nil {
+			return err
+		}
+		snap.Cells = append(snap.Cells, cell)
+		fmt.Fprintf(logw, "cluster-obs %s p=%d: off %.4fs, on %.4fs (%.2fx), %d worker records, max skew %.0fus\n",
+			dataset, p, cell.OffSeconds, cell.OnSeconds, cell.OverheadRatio, cell.WorkerRecords, cell.MaxBarrierSkewMicros)
+	}
+
+	if err := writeJSON(out, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "wrote %s (%d cells)\n", out, len(snap.Cells))
+	return nil
+}
+
+// timeClusterObs measures one (dataset, p) cell: the telemetry-off run, the
+// telemetry-on run, and the bit-identity check between them.
+func timeClusterObs(g *graph.Graph, a *partition.Assignment, dataset string, p, maxSupersteps int) (ClusterObsCell, error) {
+	prog := func() engine.Program { return engine.NewPageRank(g.NumVertices(), 0.85, 1e-9) }
+
+	obs.Disable()
+	start := time.Now()
+	off, offStats, err := wire.RunCluster(g, a, prog(), maxSupersteps, nil)
+	offSecs := time.Since(start).Seconds()
+	if err != nil {
+		return ClusterObsCell{}, fmt.Errorf("cluster-obs: untraced run on %s p=%d: %w", dataset, p, err)
+	}
+
+	obs.Enable()
+	start = time.Now()
+	on, onStats, ct, err := wire.RunClusterTraced(g, a, prog(), maxSupersteps, nil)
+	onSecs := time.Since(start).Seconds()
+	obs.Disable()
+	if err != nil {
+		return ClusterObsCell{}, fmt.Errorf("cluster-obs: traced run on %s p=%d: %w", dataset, p, err)
+	}
+
+	// The record-only invariant is the probe's precondition: a traced run
+	// that diverges at all makes its overhead number meaningless.
+	if len(off) != len(on) {
+		return ClusterObsCell{}, fmt.Errorf("cluster-obs: %s p=%d: value counts diverged (%d vs %d)", dataset, p, len(off), len(on))
+	}
+	for v := range off {
+		if math.Float64bits(off[v]) != math.Float64bits(on[v]) {
+			return ClusterObsCell{}, fmt.Errorf("cluster-obs: %s p=%d: vertex %d diverged under telemetry (%x vs %x)",
+				dataset, p, v, math.Float64bits(off[v]), math.Float64bits(on[v]))
+		}
+	}
+	if offStats.Supersteps != onStats.Supersteps || offStats.Messages() != onStats.Messages() || offStats.Bytes() != onStats.Bytes() {
+		return ClusterObsCell{}, fmt.Errorf("cluster-obs: %s p=%d: stats diverged under telemetry (%d/%d/%d vs %d/%d/%d)",
+			dataset, p, offStats.Supersteps, offStats.Messages(), offStats.Bytes(),
+			onStats.Supersteps, onStats.Messages(), onStats.Bytes())
+	}
+	if ct == nil || len(ct.Workers) != p {
+		return ClusterObsCell{}, fmt.Errorf("cluster-obs: %s p=%d: expected %d worker snapshots, got %v", dataset, p, p, ct)
+	}
+
+	records := 0
+	for i := range ct.Workers {
+		records += len(ct.Workers[i].Records)
+	}
+	maxSkew := 0.0
+	for _, s := range ct.BarrierSkew() {
+		if us := float64(s.SkewNanos) / 1e3; us > maxSkew {
+			maxSkew = us
+		}
+	}
+	return ClusterObsCell{
+		Dataset:              dataset,
+		P:                    p,
+		Supersteps:           offStats.Supersteps,
+		Messages:             offStats.Messages(),
+		OffSeconds:           offSecs,
+		OnSeconds:            onSecs,
+		OverheadRatio:        onSecs / offSecs,
+		Workers:              len(ct.Workers),
+		WorkerRecords:        records,
+		MaxBarrierSkewMicros: maxSkew,
+	}, nil
+}

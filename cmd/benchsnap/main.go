@@ -11,6 +11,7 @@
 //	benchsnap -datasets G1,G2 -ps 10   # restrict the grid
 //	benchsnap -net                     # Mem-vs-TCP probe -> BENCH_net.json
 //	benchsnap -refine                  # refinement probe -> BENCH_refine.json
+//	benchsnap -cluster-obs             # cluster telemetry overhead -> BENCH_cluster_obs.json
 //
 // Cells run strictly sequentially so per-cell seconds and allocation deltas
 // are not distorted by concurrent cells. The snapshot additionally times the
@@ -36,6 +37,7 @@ import (
 	"github.com/graphpart/graphpart/internal/obs"
 	"github.com/graphpart/graphpart/internal/parallel"
 	"github.com/graphpart/graphpart/internal/partition"
+	"github.com/graphpart/graphpart/internal/wire"
 )
 
 // Cell is one sequentially-measured grid entry.
@@ -92,6 +94,11 @@ type Snapshot struct {
 }
 
 func main() {
+	// The -cluster-obs probe re-execs this binary once per machine; worker
+	// processes must take over before flag parsing.
+	if wire.MaybeWorker() {
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
@@ -122,6 +129,12 @@ func run(args []string, logw io.Writer) error {
 		netDataset = fs.String("net-dataset", "G1", "dataset notation for the -net probe")
 		netPs      = fs.String("net-ps", "2,8", "comma-separated partition counts for the -net probe")
 
+		clusterObsFlag    = fs.Bool("cluster-obs", false, "run only the cluster-telemetry overhead probe (process-per-machine PageRank, telemetry off vs on) and write -cluster-obs-out")
+		clusterObsOut     = fs.String("cluster-obs-out", "BENCH_cluster_obs.json", "output JSON path for the -cluster-obs probe")
+		clusterObsDataset = fs.String("cluster-obs-dataset", "G1", "dataset notation for the -cluster-obs probe")
+		clusterObsPs      = fs.String("cluster-obs-ps", "2,8", "comma-separated partition counts for the -cluster-obs probe")
+		clusterObsSteps   = fs.Int("cluster-obs-steps", 20, "superstep budget for the -cluster-obs probe")
+
 		refineFlag     = fs.Bool("refine", false, "run only the refinement probe (move/swap local search over the Fig. 8 roster) and write -refine-out")
 		refineOut      = fs.String("refine-out", "BENCH_refine.json", "output JSON path for the -refine probe")
 		refineDatasets = fs.String("refine-datasets", "G1,G2,G3", "comma-separated dataset notations for the -refine probe")
@@ -145,6 +158,13 @@ func run(args []string, logw io.Writer) error {
 			return err
 		}
 		return runNetProbe(*netDataset, *seed, ps, *netOut, logw)
+	}
+	if *clusterObsFlag {
+		ps, err := parseNetPs(*clusterObsPs)
+		if err != nil {
+			return err
+		}
+		return runClusterObsProbe(*clusterObsDataset, *seed, ps, *clusterObsSteps, *clusterObsOut, logw)
 	}
 	if *refineFlag {
 		var probe []gen.Dataset

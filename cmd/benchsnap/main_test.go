@@ -6,7 +6,18 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/graphpart/graphpart/internal/wire"
 )
+
+// TestMain lets this test binary double as a cluster worker: the
+// -cluster-obs probe re-executes os.Executable() once per machine.
+func TestMain(m *testing.M) {
+	if wire.MaybeWorker() {
+		return
+	}
+	os.Exit(m.Run())
+}
 
 // TestRunQuickSnapshot runs benchsnap on two small datasets at one tiny
 // partition count and checks the written JSON parses back with the expected
@@ -43,6 +54,46 @@ func TestRunQuickSnapshot(t *testing.T) {
 	if snap.Harness.Experiment != "fig8" || snap.Harness.SequentialSeconds <= 0 ||
 		snap.Harness.ParallelSeconds <= 0 || snap.Harness.Speedup <= 0 {
 		t.Fatalf("harness timing missing: %+v", snap.Harness)
+	}
+}
+
+// TestClusterObsProbe runs the -cluster-obs probe at a small p and checks
+// the written snapshot: both timings populated, the overhead ratio finite,
+// and worker telemetry present (the probe itself asserts bit-identity and
+// fails the run on any divergence).
+func TestClusterObsProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	out := filepath.Join(t.TempDir(), "cluster_obs.json")
+	var log bytes.Buffer
+	err := run([]string{
+		"-cluster-obs", "-cluster-obs-ps", "2", "-cluster-obs-steps", "8",
+		"-seed", "7", "-cluster-obs-out", out,
+	}, &log)
+	if err != nil {
+		t.Fatalf("run failed: %v\nlog:\n%s", err, log.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap ClusterObsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if len(snap.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(snap.Cells))
+	}
+	c := snap.Cells[0]
+	if c.P != 2 || c.Workers != 2 || c.Dataset != "G1" {
+		t.Fatalf("cell identity wrong: %+v", c)
+	}
+	if c.OffSeconds <= 0 || c.OnSeconds <= 0 || c.OverheadRatio <= 0 {
+		t.Fatalf("implausible timings: %+v", c)
+	}
+	if c.WorkerRecords <= 0 || c.Supersteps < 1 {
+		t.Fatalf("missing worker telemetry: %+v", c)
 	}
 }
 

@@ -23,7 +23,11 @@
 //	GET  /partition    ?family=tlp&p=8&refine=true plus edge=/vertex= lookups
 //	GET  /stats        ?family=tlp&p=8&refine=true partition quality metrics
 //	POST /run          {"program":"pagerank","family":"tlp","p":8,"refine":true,...}
-//	GET  /metrics      obs metrics registry snapshot
+//	                   "transport":"cluster" runs one OS process per machine
+//	GET  /metrics      obs metrics snapshot (coordinator scope; after a traced
+//	                   cluster run, also the merged per-worker view)
+//	GET  /trace        merged multi-process Chrome trace of the last traced
+//	                   cluster run (404 until one happens)
 package main
 
 import (
@@ -46,6 +50,11 @@ import (
 )
 
 func main() {
+	// A cluster /run re-execs this binary once per machine; worker
+	// processes must take over before any daemon setup happens.
+	if graphpart.MaybeWorker() {
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 
 	"github.com/graphpart/graphpart/internal/engine"
 	"github.com/graphpart/graphpart/internal/graph"
@@ -24,6 +25,12 @@ type server struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	runs     *obs.Counter
+
+	// clusterMu guards the cached telemetry of the most recent traced
+	// cluster run, served by /trace and merged into /metrics.
+	clusterMu       sync.Mutex
+	lastCluster     *wire.ClusterTelemetry
+	lastClusterDesc map[string]any
 
 	// testHook, when set, runs inside /run after the engine finishes and
 	// before the response is written; tests use it to hold a request
@@ -53,6 +60,7 @@ func (s *server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	return s.instrument(mux)
 }
 
@@ -304,8 +312,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		defer tcp.Close()
 		tr = tcp
+	case "cluster":
+		// One OS process per machine over TCP; no in-process transport.
+		// The daemon binary re-execs itself as workers (main calls
+		// graphpart.MaybeWorker before anything else).
 	default:
-		writeError(w, http.StatusBadRequest, "unknown transport %q (want mem or tcp)", transport)
+		writeError(w, http.StatusBadRequest, "unknown transport %q (want mem, tcp or cluster)", transport)
 		return
 	}
 
@@ -313,9 +325,16 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		obs.String("program", prog.Name()), obs.String("family", req.Family),
 		obs.Int("p", req.P), obs.String("transport", transport))
 	start := obs.Now()
-	e.engMu.Lock()
-	values, stats, err := e.eng.RunWith(prog, req.MaxSupersteps, tr)
-	e.engMu.Unlock()
+	var values []float64
+	var stats engine.Stats
+	var ct *wire.ClusterTelemetry
+	if transport == "cluster" {
+		values, stats, ct, err = wire.RunClusterTraced(s.g, e.a, prog, req.MaxSupersteps, nil)
+	} else {
+		e.engMu.Lock()
+		values, stats, err = e.eng.RunWith(prog, req.MaxSupersteps, tr)
+		e.engMu.Unlock()
+	}
 	seconds := obs.Since(start).Seconds()
 	sp.EndWith(obs.Int("supersteps", stats.Supersteps), obs.Int64("bytes", stats.Bytes()))
 	if err != nil {
@@ -325,6 +344,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runs.Add(1)
 	if tcp != nil {
 		controlBytes = tcp.ControlBytes()
+	}
+	if ct != nil {
+		s.clusterMu.Lock()
+		s.lastCluster = ct
+		s.lastClusterDesc = map[string]any{
+			"program":    prog.Name(),
+			"family":     req.Family,
+			"p":          req.P,
+			"trace_id":   strconv.FormatUint(ct.TraceID, 16),
+			"supersteps": stats.Supersteps,
+		}
+		s.clusterMu.Unlock()
 	}
 
 	resp := map[string]any{
@@ -340,6 +371,15 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		"control_bytes":      controlBytes,
 		"replication_factor": e.eng.ReplicationFactor(),
 		"seconds":            seconds,
+	}
+	if transport == "cluster" {
+		cluster := map[string]any{"traced": ct != nil}
+		if ct != nil {
+			cluster["trace_id"] = strconv.FormatUint(ct.TraceID, 16)
+			cluster["workers"] = len(ct.Workers)
+			cluster["trace_url"] = "/trace"
+		}
+		resp["cluster"] = cluster
 	}
 	if req.Top > 0 {
 		resp["top"] = topValues(values, req.Top)
@@ -414,9 +454,47 @@ func topValues(values []float64, n int) []vertexValue {
 	return out
 }
 
+// handleMetrics reports the telemetry registry. The top-level "metrics"
+// snapshot covers only this coordinator process (labelled by "scope" and
+// "process" so a TCP /run is not mistaken for whole-cluster numbers); after
+// a traced cluster /run the "cluster" object adds the merged machine-
+// labelled view across every worker snapshot.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
+		"scope":             "process",
+		"process":           "coordinator",
 		"telemetry_enabled": obs.Enabled(),
 		"metrics":           obs.Default.Snapshot(),
-	})
+	}
+	s.clusterMu.Lock()
+	ct, desc := s.lastCluster, s.lastClusterDesc
+	s.clusterMu.Unlock()
+	if ct != nil {
+		cluster := map[string]any{
+			"scope":   "cluster",
+			"run":     desc,
+			"workers": len(ct.Workers),
+			"merged":  ct.MergedMetrics(),
+		}
+		resp["cluster"] = cluster
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves the merged multi-process Chrome trace of the most
+// recent traced cluster /run: one lane per process (coordinator + workers),
+// barrier-skew instants per superstep. 404 until such a run happens.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.clusterMu.Lock()
+	ct := s.lastCluster
+	s.clusterMu.Unlock()
+	if ct == nil {
+		writeError(w, http.StatusNotFound,
+			`no traced cluster run cached; POST /run with {"transport":"cluster"} while telemetry is enabled`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A mid-stream write failure means the client went away; the 200 header
+	// is already on the wire, so there is nothing left to report.
+	_ = ct.WriteChromeTrace(w)
 }

@@ -41,6 +41,11 @@ import (
 )
 
 func main() {
+	// A -transport tcp run re-executes this binary once per machine; those
+	// children must divert into the worker protocol before anything else.
+	if graphpart.MaybeWorker() {
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "tlp:", err)
 		os.Exit(1)
@@ -63,6 +68,7 @@ func run() error {
 		dense    = flag.Bool("dense", false, "with -stream -input: intern sparse vertex ids instead of assuming 0..maxID")
 		runProg  = flag.String("run", "", "execute a vertex program on the partitioning: 'pagerank' or 'cc'")
 		maxSS    = flag.Int("supersteps", 20, "with -run: superstep bound for the vertex program")
+		trans    = flag.String("transport", "mem", "with -run: 'mem' (in-process engine) or 'tcp' (one OS process per machine over real sockets)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event file of the run (load at chrome://tracing)")
 		metrics  = flag.String("metrics", "", "write a JSON metrics snapshot of the run")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -77,28 +83,30 @@ func run() error {
 	if *traceOut != "" || *metrics != "" {
 		graphpart.EnableTelemetry()
 	}
-	if err := runBody(*input, *dataset, *algo, *p, *r, *seed,
-		*stats, *doRef, *report, *stream, *winSize, *dense, *runProg, *maxSS); err != nil {
+	ct, err := runBody(*input, *dataset, *algo, *p, *r, *seed,
+		*stats, *doRef, *report, *stream, *winSize, *dense, *runProg, *maxSS, *trans)
+	if err != nil {
 		return err
 	}
-	return writeTelemetry(*traceOut, *metrics)
+	return writeTelemetry(*traceOut, *metrics, ct)
 }
 
 // runBody is the CLI body behind the flags: load, partition, report,
-// optionally hand off to the engine or the streaming path.
+// optionally hand off to the engine or the streaming path. The returned
+// ClusterTelemetry is non-nil only for a traced -transport tcp run.
 func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 	stats, doRef bool, report string, stream bool, winSize int, dense bool,
-	runProg string, maxSS int) error {
+	runProg string, maxSS int, transport string) (*graphpart.ClusterTelemetry, error) {
 	if stream {
 		if runProg != "" {
-			return fmt.Errorf("-run needs a materialised graph and cannot be combined with -stream")
+			return nil, fmt.Errorf("-run needs a materialised graph and cannot be combined with -stream")
 		}
-		return runStream(os.Stdout, input, dataset, strings.ToLower(algo), p, seed, winSize, dense)
+		return nil, runStream(os.Stdout, input, dataset, strings.ToLower(algo), p, seed, winSize, dense)
 	}
 
 	g, err := loadGraph(input, dataset, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("graph: %s\n", graphpart.ComputeGraphStats(g))
 
@@ -109,12 +117,12 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 	case "tlpr":
 		pt, err := graphpart.NewTLPR(r, graphpart.TLPOptions{Seed: seed})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var st graphpart.TLPStats
 		a, st, err = pt.PartitionStats(g, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tlpStats = &st
 	case "tlp":
@@ -122,7 +130,7 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 		var st graphpart.TLPStats
 		a, st, err = pt.PartitionStats(g, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tlpStats = &st
 	default:
@@ -134,11 +142,11 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 				names = append(names, n) //lint:ignore GL001 sorted on the next line
 			}
 			sort.Strings(names)
-			return fmt.Errorf("unknown algorithm %q (have: %s, tlpr)", algo, strings.Join(names, ", "))
+			return nil, fmt.Errorf("unknown algorithm %q (have: %s, tlpr)", algo, strings.Join(names, ", "))
 		}
 		a, err = pt.Partition(g, p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	elapsed := watch.Elapsed()
@@ -146,7 +154,7 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 	if doRef {
 		rs, err := graphpart.Refine(g, a, graphpart.RefineOptions{})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("refine: %d passes, %d moves (%d edges), %d swaps, %d replicas removed, RF %.4f -> %.4f\n",
 			rs.Passes, rs.Moves, rs.EdgesMoved, rs.Swaps, rs.ReplicasRemoved, rs.RFBefore, rs.RFAfter)
@@ -154,7 +162,7 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 
 	m, err := graphpart.ComputeMetrics(g, a)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("algorithm: %s  p=%d  time=%v\n", algo, p, elapsed.Round(time.Millisecond))
 	fmt.Printf("replication factor: %.4f\n", m.ReplicationFactor)
@@ -184,17 +192,17 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 	case "text", "json":
 		rep, err := graphpart.BuildReport(g, a)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if report == "json" {
 			if err := rep.WriteJSON(os.Stdout); err != nil {
-				return err
+				return nil, err
 			}
 		} else if err := rep.WriteText(os.Stdout); err != nil {
-			return err
+			return nil, err
 		}
 	default:
-		return fmt.Errorf("unknown report format %q (text or json)", report)
+		return nil, fmt.Errorf("unknown report format %q (text or json)", report)
 	}
 	if stats && tlpStats != nil {
 		fmt.Printf("stage I selections: %d (avg degree %.2f)\n",
@@ -205,14 +213,16 @@ func runBody(input, dataset, algo string, p int, r float64, seed uint64,
 			tlpStats.Reseeds, tlpStats.PartialAbsorptions, tlpStats.SweptEdges)
 	}
 	if runProg != "" {
-		return runEngine(os.Stdout, g, a, strings.ToLower(runProg), maxSS)
+		return runEngine(os.Stdout, g, a, strings.ToLower(runProg), maxSS, transport)
 	}
-	return nil
+	return nil, nil
 }
 
 // writeTelemetry exports the recorded trace and metrics to the requested
-// files; empty paths are skipped.
-func writeTelemetry(tracePath, metricsPath string) error {
+// files; empty paths are skipped. A non-nil ClusterTelemetry upgrades the
+// trace export to the merged multi-process form (one lane per worker plus
+// the coordinator, with barrier-skew instants).
+func writeTelemetry(tracePath, metricsPath string, ct *graphpart.ClusterTelemetry) error {
 	write := func(path string, fn func(io.Writer) error) error {
 		if path == "" {
 			return nil
@@ -227,7 +237,11 @@ func writeTelemetry(tracePath, metricsPath string) error {
 		}
 		return f.Close()
 	}
-	if err := write(tracePath, graphpart.WriteChromeTrace); err != nil {
+	traceFn := graphpart.WriteChromeTrace
+	if ct != nil {
+		traceFn = ct.WriteChromeTrace
+	}
+	if err := write(tracePath, traceFn); err != nil {
 		return fmt.Errorf("writing trace: %w", err)
 	}
 	if err := write(metricsPath, graphpart.WriteMetricsJSON); err != nil {
@@ -238,29 +252,85 @@ func writeTelemetry(tracePath, metricsPath string) error {
 
 // runEngine executes a vertex program on the share-nothing GAS runtime over
 // the just-produced partitioning and reports the synchronisation traffic it
-// generated — the downstream cost the replication factor predicts.
-func runEngine(out io.Writer, g *graphpart.Graph, a *graphpart.Assignment, prog string, maxSupersteps int) error {
-	var pr graphpart.Program
-	switch prog {
-	case "pagerank":
-		pr = graphpart.NewPageRank(g.NumVertices(), 0.85, 1e-9)
-	case "cc":
-		pr = graphpart.NewComponents()
+// generated — the downstream cost the replication factor predicts. With
+// transport "tcp" the run is a real cluster — one OS process per machine
+// over sockets — verified bit-identical against the sequential oracle, and
+// the returned ClusterTelemetry (non-nil only when telemetry is on) carries
+// every worker's spans for the merged trace export.
+func runEngine(out io.Writer, g *graphpart.Graph, a *graphpart.Assignment, prog string, maxSupersteps int, transport string) (*graphpart.ClusterTelemetry, error) {
+	mkProg := func() (graphpart.Program, error) {
+		switch prog {
+		case "pagerank":
+			return graphpart.NewPageRank(g.NumVertices(), 0.85, 1e-9), nil
+		case "cc":
+			return graphpart.NewComponents(), nil
+		default:
+			return nil, fmt.Errorf("unknown program %q (pagerank or cc)", prog)
+		}
+	}
+	pr, err := mkProg()
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		values  []float64
+		st      graphpart.EngineStats
+		ct      *graphpart.ClusterTelemetry
+		elapsed time.Duration
+	)
+	switch transport {
+	case "mem":
+		e, err := graphpart.NewEngine(g, a)
+		if err != nil {
+			return nil, err
+		}
+		watch := graphpart.StartWatch()
+		values, st, err = e.Run(pr, maxSupersteps)
+		if err != nil {
+			return nil, err
+		}
+		elapsed = watch.Elapsed()
+		fmt.Fprintf(out, "\nengine: %s on %d machines  rf=%.4f  time=%v\n",
+			pr.Name(), a.P(), e.ReplicationFactor(), elapsed.Round(time.Millisecond))
+	case "tcp":
+		watch := graphpart.StartWatch()
+		values, st, ct, err = graphpart.RunClusterTraced(g, a, pr, maxSupersteps)
+		if err != nil {
+			return nil, err
+		}
+		elapsed = watch.Elapsed()
+		fmt.Fprintf(out, "\nengine: %s on %d machines (one process per machine, tcp)  time=%v\n",
+			pr.Name(), a.P(), elapsed.Round(time.Millisecond))
+		seqProg, err := mkProg()
+		if err != nil {
+			return nil, err
+		}
+		seqVals, _, err := graphpart.RunSequential(g, seqProg, maxSupersteps)
+		if err != nil {
+			return nil, fmt.Errorf("sequential verify: %w", err)
+		}
+		for v := range seqVals {
+			if values[v] != seqVals[v] {
+				return nil, fmt.Errorf("cluster diverged from sequential at vertex %d: %v != %v",
+					v, values[v], seqVals[v])
+			}
+		}
+		fmt.Fprintf(out, "sequential verify: exact bit-level match across %d vertices\n", len(seqVals))
+		if ct != nil {
+			skews := ct.BarrierSkew()
+			var maxSkew time.Duration
+			for _, sk := range skews {
+				if d := time.Duration(sk.SkewNanos); d > maxSkew {
+					maxSkew = d
+				}
+			}
+			fmt.Fprintf(out, "cluster telemetry: %d worker snapshots, max barrier skew %v over %d supersteps\n",
+				len(ct.Workers), maxSkew, len(skews))
+		}
 	default:
-		return fmt.Errorf("unknown program %q (pagerank or cc)", prog)
+		return nil, fmt.Errorf("unknown transport %q (mem or tcp)", transport)
 	}
-	e, err := graphpart.NewEngine(g, a)
-	if err != nil {
-		return err
-	}
-	watch := graphpart.StartWatch()
-	values, st, err := e.Run(pr, maxSupersteps)
-	if err != nil {
-		return err
-	}
-	elapsed := watch.Elapsed()
-	fmt.Fprintf(out, "\nengine: %s on %d machines  rf=%.4f  time=%v\n",
-		pr.Name(), a.P(), e.ReplicationFactor(), elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "supersteps: %d (bound %d)\n", st.Supersteps, maxSupersteps)
 	fmt.Fprintf(out, "messages: %d gather + %d apply + %d activate = %d\n",
 		st.GatherMessages, st.ApplyMessages, st.ActivateMessages, st.Messages())
@@ -296,7 +366,7 @@ func runEngine(out io.Writer, g *graphpart.Graph, a *graphpart.Assignment, prog 
 		}
 		fmt.Fprintf(out, "connected components: %d\n", len(labels))
 	}
-	return nil
+	return ct, nil
 }
 
 // runStream is the -stream mode: it partitions straight from an EdgeSource —

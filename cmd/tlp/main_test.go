@@ -12,6 +12,15 @@ import (
 	graphpart "github.com/graphpart/graphpart"
 )
 
+// TestMain lets this test binary double as a cluster worker: the tcp
+// transport re-executes os.Executable() once per machine.
+func TestMain(m *testing.M) {
+	if graphpart.MaybeWorker() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
 func TestLoadGraphModes(t *testing.T) {
 	if _, err := loadGraph("", "", 1); err == nil {
 		t.Fatal("no input accepted")
@@ -112,7 +121,7 @@ func TestRunEngine(t *testing.T) {
 		"cc":       "connected components:",
 	} {
 		var out bytes.Buffer
-		if err := runEngine(&out, g, a, prog, 10); err != nil {
+		if _, err := runEngine(&out, g, a, prog, 10, "mem"); err != nil {
 			t.Fatalf("%s: %v", prog, err)
 		}
 		text := out.String()
@@ -123,7 +132,58 @@ func TestRunEngine(t *testing.T) {
 		}
 	}
 	var out bytes.Buffer
-	if err := runEngine(&out, g, a, "bogus", 10); err == nil {
+	if _, err := runEngine(&out, g, a, "bogus", 10, "mem"); err == nil {
 		t.Fatal("unknown program accepted")
 	}
+	if _, err := runEngine(&out, g, a, "pagerank", 10, "carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+// TestRunEngineClusterTransport drives the tcp transport path: a real
+// process-per-machine cluster run whose output must verify bit-identical
+// against the sequential oracle, with a merged multi-process trace when
+// telemetry is on.
+func TestRunEngineClusterTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g, err := loadGraph("", "G1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := graphpart.NewTLP(graphpart.TLPOptions{Seed: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasEnabled := graphpart.TelemetryEnabled()
+	graphpart.EnableTelemetry()
+	t.Cleanup(func() {
+		if !wasEnabled {
+			graphpart.DisableTelemetry()
+		}
+	})
+	var out bytes.Buffer
+	ct, err := runEngine(&out, g, a, "pagerank", 10, "tcp")
+	if err != nil {
+		t.Fatalf("tcp transport: %v", err)
+	}
+	text := out.String()
+	for _, needle := range []string{"one process per machine", "sequential verify: exact bit-level match", "cluster telemetry:"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("cluster output missing %q:\n%s", needle, text)
+		}
+	}
+	if ct == nil || len(ct.Workers) != 4 {
+		t.Fatalf("expected 4 worker snapshots, got %+v", ct)
+	}
+	var trace bytes.Buffer
+	if err := writeTelemetryTo(&trace, ct); err != nil {
+		t.Fatalf("merged trace: %v", err)
+	}
+}
+
+// writeTelemetryTo exercises the merged-trace writer against a buffer.
+func writeTelemetryTo(w io.Writer, ct *graphpart.ClusterTelemetry) error {
+	return ct.WriteChromeTrace(w)
 }

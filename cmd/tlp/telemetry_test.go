@@ -32,7 +32,7 @@ func TestWriteTelemetry(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.json")
-	if err := writeTelemetry(tracePath, metricsPath); err != nil {
+	if err := writeTelemetry(tracePath, metricsPath, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -62,7 +62,7 @@ func TestWriteTelemetry(t *testing.T) {
 	}
 
 	// Empty paths are a no-op, not an error.
-	if err := writeTelemetry("", ""); err != nil {
+	if err := writeTelemetry("", "", nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -203,6 +203,20 @@ func RunCluster(g *Graph, a *Assignment, prog Program, maxSupersteps int) ([]flo
 // and the caller must exit immediately without doing anything else.
 func MaybeWorker() bool { return wire.MaybeWorker() }
 
+// ClusterTelemetry is the merged observability of one traced cluster run:
+// per-worker telemetry snapshots keyed by the run's trace id, exportable as
+// a single multi-lane Chrome trace with barrier-skew instants.
+type ClusterTelemetry = wire.ClusterTelemetry
+
+// RunClusterTraced is RunCluster plus cluster-wide telemetry: when
+// telemetry is enabled, every worker process records spans and metrics and
+// ships a snapshot back at drain. Record-only — values and stats stay
+// bit-identical to RunCluster and RunSequential. Returns nil telemetry when
+// telemetry is disabled.
+func RunClusterTraced(g *Graph, a *Assignment, prog Program, maxSupersteps int) ([]float64, EngineStats, *ClusterTelemetry, error) {
+	return wire.RunClusterTraced(g, a, prog, maxSupersteps, nil)
+}
+
 // TrafficMatrix is the per-link p x p traffic of an engine run.
 type TrafficMatrix = engine.TrafficMatrix
 

@@ -148,9 +148,12 @@ func TestCorpus(t *testing.T) {
 		{name: "gl007ok-obs", dir: "gl007ok", asPath: "<mod>/internal/obs"},
 		{name: "gl007ok-benchsnap", dir: "gl007ok", asPath: "<mod>/cmd/benchsnap"},
 		// The wire transport's socket-deadline arming is the third exempt
-		// site: net.Conn deadlines compare against the kernel clock, so the
-		// injectable obs.Clock cannot serve them. gl007bad.ArmDeadline shows
-		// the identical construct flagged under a non-exempt path.
+		// site, and the only file-scoped one: net.Conn deadlines compare
+		// against the kernel clock, so the injectable obs.Clock cannot serve
+		// them — but only deadline.go gets the allowance. The package's
+		// telemetry.go carries want markers proving the same constructs are
+		// flagged in every other wire file; gl007bad.ArmDeadline shows the
+		// non-wire case.
 		{name: "gl007wire", dir: "gl007wire", asPath: "<mod>/internal/wire"},
 		{name: "gl008bad", dir: "gl008bad", asPath: "<mod>/internal/gl008bad"},
 		{name: "gl008ok", dir: "gl008ok", asPath: "<mod>/internal/gl008ok"},

@@ -3,7 +3,9 @@ package analysis
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -108,10 +110,13 @@ func baseIdent(expr ast.Expr) *ast.Ident {
 // seeded SplitMix64/xoshiro generator so that runs are reproducible across
 // machines and Go versions, and wall-clock time must never influence an
 // algorithm. Only internal/rng may import math/rand (it wraps the seeded
-// generator), and only three packages may call time.Now: internal/obs (the
+// generator), and only three sites may call time.Now: internal/obs (the
 // sanctioned clock seam), cmd/benchsnap (which timestamps benchmark
-// snapshots), and internal/wire (net.Conn deadlines compare against the
-// kernel's wall clock, so an injected obs.Clock would hang socket I/O).
+// snapshots), and — file-scoped, not package-wide — internal/wire's
+// deadline.go (net.Conn deadlines compare against the kernel's wall clock,
+// so an injected obs.Clock would hang socket I/O). The rest of internal/wire
+// is held to the seam: its telemetry-upload and span-recording paths time
+// everything through obs, so a clock read in any other wire file is a bug.
 // Elapsed-time measurement everywhere else goes through obs.StartWatch,
 // which respects the injectable obs.Clock.
 // ---------------------------------------------------------------------------
@@ -128,9 +133,10 @@ func checkGL002(pkg *Package, r *reporter) {
 			}
 		}
 	}
-	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") || pkg.isAt("internal/wire") {
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
 		return
 	}
+	wireDeadline := pkg.isAt("internal/wire")
 	inspectFiles(pkg, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -138,8 +144,11 @@ func checkGL002(pkg *Package, r *reporter) {
 		}
 		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			if wireDeadline && pkg.inFile(sel.Pos(), "deadline.go") {
+				return true
+			}
 			r.report(sel.Pos(), "GL002",
-				"time.Now outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire): wall-clock must not influence results; measure elapsed time with obs.StartWatch")
+				"time.Now outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire/deadline.go): wall-clock must not influence results; measure elapsed time with obs.StartWatch")
 		}
 		return true
 	})
@@ -375,21 +384,24 @@ func badValueType(t types.Type) string {
 // every timing path injectable (deterministic tests swap in a step clock),
 // and its Stopwatch is the one elapsed-time primitive. Direct calls to
 // time.Now / time.Since / time.Until anywhere else — library code, mains,
-// examples — bypass the seam and fragment timing behaviour. Two packages
-// are exempt besides the seam: cmd/benchsnap for its snapshot timestamp
-// (the one legitimate "what time is it" read in the module), and
-// internal/wire for net.Conn deadline arming — socket deadlines are
-// compared against the kernel's wall clock by the runtime poller, so a
-// deadline computed from an injected obs.Clock would hang (or instantly
-// expire) real socket I/O. GL002 separately flags time.Now as a
-// nondeterminism source; GL007 covers the derived helpers and enforces the
-// seam itself.
+// examples — bypass the seam and fragment timing behaviour. Two sites are
+// exempt besides the seam: cmd/benchsnap for its snapshot timestamp (the
+// one legitimate "what time is it" read in the module), and — file-scoped —
+// internal/wire's deadline.go for net.Conn deadline arming: socket
+// deadlines are compared against the kernel's wall clock by the runtime
+// poller, so a deadline computed from an injected obs.Clock would hang (or
+// instantly expire) real socket I/O. The rest of internal/wire gets no
+// allowance — its worker spans, barrier-skew instants and telemetry-upload
+// codec all time through obs, so those paths stay deterministic under an
+// injected clock. GL002 separately flags time.Now as a nondeterminism
+// source; GL007 covers the derived helpers and enforces the seam itself.
 // ---------------------------------------------------------------------------
 
 func checkGL007(pkg *Package, r *reporter) {
-	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") || pkg.isAt("internal/wire") {
+	if pkg.isAt("internal/obs") || pkg.isAt("cmd/benchsnap") {
 		return
 	}
+	wireDeadline := pkg.isAt("internal/wire")
 	wallClock := map[string]bool{"Now": true, "Since": true, "Until": true}
 	inspectFiles(pkg, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
@@ -398,8 +410,11 @@ func checkGL007(pkg *Package, r *reporter) {
 		}
 		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClock[fn.Name()] {
+			if wireDeadline && pkg.inFile(sel.Pos(), "deadline.go") {
+				return true
+			}
 			r.report(sel.Pos(), "GL007",
-				"time.%s outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire): route timing through the obs clock seam (obs.StartWatch / obs.Now)", fn.Name())
+				"time.%s outside the clock allowlist (internal/obs, cmd/benchsnap, internal/wire/deadline.go): route timing through the obs clock seam (obs.StartWatch / obs.Now)", fn.Name())
 		}
 		return true
 	})
@@ -469,4 +484,11 @@ func isValidateOptions(t types.Type) bool {
 // isAt reports whether the package lives at the module-relative path rel.
 func (p *Package) isAt(rel string) bool {
 	return p.Path == p.Module+"/"+rel
+}
+
+// inFile reports whether pos lands in the named file (basename) of the
+// package. File-scoped rule exemptions use it to keep an allowance narrower
+// than a whole package.
+func (p *Package) inFile(pos token.Pos, base string) bool {
+	return filepath.Base(p.Fset.Position(pos).Filename) == base
 }

@@ -3,8 +3,10 @@
 // against the kernel's wall clock by the runtime poller, so a deadline
 // computed from an injected obs.Clock would hang (or instantly expire) real
 // socket I/O. The corpus checks this package under the internal/wire import
-// path, where GL002 and GL007 exempt it; the identical construct is flagged
-// under any other path (see gl007bad.ArmDeadline).
+// path, where the exemption is file-scoped: this file is named deadline.go
+// and stays clean, while the identical construct in any other wire file is
+// flagged (see telemetry.go in this package, and gl007bad.ArmDeadline for
+// the non-wire case).
 package gl007wire
 
 import (

@@ -59,6 +59,7 @@ func (h *MachineHost) Reset(prog Program, tr Transport) (activeMasters int, err 
 		return 0, fmt.Errorf("engine: nil transport")
 	}
 	h.m.reset(prog, tr)
+	mHostResets.Add(1)
 	return h.m.activeMasters, nil
 }
 
@@ -69,6 +70,7 @@ func (h *MachineHost) Step(phase int) error {
 		return fmt.Errorf("engine: phase %d out of range [0,%d)", phase, numPhases)
 	}
 	h.m.step(phase)
+	mHostSteps.Add(1)
 	return nil
 }
 

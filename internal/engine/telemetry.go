@@ -11,12 +11,30 @@ var phaseSpanNames = [numPhases]string{
 	phaseFinalize: "engine.finalize",
 }
 
+// PhaseName returns the trace span name of superstep phase ph
+// ("engine.gather" .. "engine.finalize"), so other layers (the cluster
+// worker loop) can label per-phase spans consistently with Run's own.
+func PhaseName(ph int) string {
+	if ph < 0 || ph >= numPhases {
+		return "engine.phase"
+	}
+	return phaseSpanNames[ph]
+}
+
 // Cumulative runtime counters, fed from each run's final totals.
 var (
 	mEngineRuns       = obs.Default.Counter("engine.runs")
 	mEngineSupersteps = obs.Default.Counter("engine.supersteps")
 	mEngineMessages   = obs.Default.Counter("engine.messages")
 	mEngineBytes      = obs.Default.Counter("engine.bytes")
+)
+
+// Host-side counters: a cluster worker drives its machine through
+// MachineHost rather than Run, so these are what its process snapshot
+// carries back to the coordinator for the machine-labelled merge.
+var (
+	mHostResets = obs.Default.Counter("engine.host.resets")
+	mHostSteps  = obs.Default.Counter("engine.host.steps")
 )
 
 // recordRunMetrics publishes a finished run's stats to the metrics

@@ -91,9 +91,9 @@ func WriteChromeTrace(w io.Writer) error {
 }
 
 // ValidateChromeTrace parses r as a Chrome trace-event document and checks
-// the schema invariants the exporter guarantees (known phase letters,
-// non-negative timestamps and durations). It returns the number of trace
-// events.
+// the schema invariants the exporters guarantee (known phase letters — 'X'
+// complete, 'i' instant, 'M' metadata — and non-negative timestamps and
+// durations). It returns the number of trace events.
 func ValidateChromeTrace(r io.Reader) (int, error) {
 	var doc chromeTrace
 	dec := json.NewDecoder(r)
@@ -105,7 +105,7 @@ func ValidateChromeTrace(r io.Reader) (int, error) {
 		if ev.Name == "" {
 			return 0, fmt.Errorf("obs: trace event %d has no name", i)
 		}
-		if ev.Ph != "X" && ev.Ph != "i" {
+		if ev.Ph != "X" && ev.Ph != "i" && ev.Ph != "M" {
 			return 0, fmt.Errorf("obs: trace event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
 		}
 		if ev.Ts < 0 || ev.Dur < 0 {

@@ -109,6 +109,34 @@ type HistogramSnapshot struct {
 	Sum float64 `json:"sum"`
 }
 
+// Quantile estimates the q-quantile from the bucket counts using the
+// nearest-rank rule: the value reported is the upper bound of the bucket
+// holding the rank-⌈q·n⌉ observation (+Inf when that observation landed in
+// the overflow bucket, 0 when the histogram is empty).
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(hs.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > hs.Count {
+		rank = hs.Count
+	}
+	var cum int64
+	for i, c := range hs.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(hs.Bounds) {
+				return hs.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // MetricsSnapshot is a point-in-time copy of a Registry, JSON-serialisable
 // with deterministic (sorted) key order.
 type MetricsSnapshot struct {

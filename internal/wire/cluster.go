@@ -40,6 +40,12 @@ type ClusterOptions struct {
 	Command []string
 }
 
+// clusterProtocolVersion is the control-protocol version the coordinator
+// stamps into the trace-context frame; workers reject a mismatch instead of
+// guessing at frame layouts. Version 2 added the frameTrace/frameTelemetry
+// pair (version 1 was the pre-trace protocol, which had no version frame).
+const clusterProtocolVersion = 2
+
 // RunCluster executes prog over g and a with one OS process per machine —
 // the engine's machines separated by real process and socket boundaries.
 // Each worker process rebuilds the engine deterministically from the graph
@@ -50,26 +56,44 @@ type ClusterOptions struct {
 // from per-worker reports: byte counts are framed wire bytes, and the
 // traffic matrix merges each worker's sender-side row.
 func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, maxSupersteps int, opt *ClusterOptions) ([]float64, engine.Stats, error) {
+	values, stats, _, err := runCluster(g, a, prog, maxSupersteps, opt, false)
+	return values, stats, err
+}
+
+// RunClusterTraced is RunCluster plus cluster-wide telemetry collection:
+// when telemetry is enabled in this process, every worker records its own
+// spans and metrics and ships a snapshot back at drain, returned as a
+// ClusterTelemetry for merged-trace export. With telemetry disabled it
+// behaves exactly like RunCluster and returns a nil ClusterTelemetry.
+// Telemetry stays record-only either way: the returned values and stats are
+// bit-identical to RunCluster and RunSequential.
+func RunClusterTraced(g *graph.Graph, a *partition.Assignment, prog engine.Program, maxSupersteps int, opt *ClusterOptions) ([]float64, engine.Stats, *ClusterTelemetry, error) {
+	return runCluster(g, a, prog, maxSupersteps, opt, obs.Enabled())
+}
+
+func runCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, maxSupersteps int, opt *ClusterOptions, collect bool) ([]float64, engine.Stats, *ClusterTelemetry, error) {
 	if prog == nil {
-		return nil, engine.Stats{}, fmt.Errorf("wire: nil program")
+		return nil, engine.Stats{}, nil, fmt.Errorf("wire: nil program")
 	}
 	if maxSupersteps < 1 {
-		return nil, engine.Stats{}, fmt.Errorf("wire: need at least one superstep")
+		return nil, engine.Stats{}, nil, fmt.Errorf("wire: need at least one superstep")
 	}
 	spec, err := SpecForProgram(prog)
 	if err != nil {
-		return nil, engine.Stats{}, err
+		return nil, engine.Stats{}, nil, err
 	}
 	p := a.P()
 	if a.NumEdges() != g.NumEdges() {
-		return nil, engine.Stats{}, fmt.Errorf("wire: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
+		return nil, engine.Stats{}, nil, fmt.Errorf("wire: assignment covers %d edges, graph has %d", a.NumEdges(), g.NumEdges())
 	}
 	command, err := opt.commandOrSelf()
 	if err != nil {
-		return nil, engine.Stats{}, err
+		return nil, engine.Stats{}, nil, err
 	}
 
-	sp := obs.Start("wire.cluster", obs.String("program", prog.Name()), obs.Int("p", p))
+	traceID := newTraceID()
+	sp := obs.Start("wire.cluster", obs.String("program", prog.Name()), obs.Int("p", p),
+		obs.Int64("trace_id", int64(traceID)))
 	defer sp.End()
 
 	c := &cluster{p: p}
@@ -77,7 +101,7 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, engine.Stats{}, fmt.Errorf("wire: cluster control listener: %w", err)
+		return nil, engine.Stats{}, nil, fmt.Errorf("wire: cluster control listener: %w", err)
 	}
 	c.ln = ln
 
@@ -88,22 +112,39 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 		cmd.Env = append(os.Environ(), fmt.Sprintf("%s=%d@%s", EnvWorker, k, ln.Addr()))
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			return nil, engine.Stats{}, fmt.Errorf("wire: start worker %d: %w", k, err)
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: start worker %d: %w", k, err)
 		}
 		c.procs = append(c.procs, cmd)
 	}
 	if err := c.acceptWorkers(); err != nil {
-		return nil, engine.Stats{}, err
+		return nil, engine.Stats{}, nil, err
+	}
+
+	// Stamp trace context into the control stream before anything else: the
+	// versioned frame pins the protocol both sides speak, carries the run's
+	// trace id, and tells workers whether to ship telemetry back at drain.
+	tctx := make([]byte, 0, traceCtxSize)
+	tctx = binary.BigEndian.AppendUint16(tctx, clusterProtocolVersion)
+	tctx = binary.BigEndian.AppendUint64(tctx, traceID)
+	var flags byte
+	if collect {
+		flags |= traceFlagCollect
+	}
+	tctx = append(tctx, flags)
+	for _, w := range c.workers {
+		if err := w.writeFrame(frameTrace, tctx); err != nil {
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: trace context to worker %d: %w", w.id, err)
+		}
 	}
 
 	// Ship the spec (program, graph, assignment) to every worker.
 	frames, err := specFrames(spec, g, a, maxSupersteps)
 	if err != nil {
-		return nil, engine.Stats{}, err
+		return nil, engine.Stats{}, nil, err
 	}
 	for _, w := range c.workers {
 		if err := w.writeRaw(frames); err != nil {
-			return nil, engine.Stats{}, fmt.Errorf("wire: spec to worker %d: %w", w.id, err)
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: spec to worker %d: %w", w.id, err)
 		}
 	}
 
@@ -112,7 +153,7 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 	for _, w := range c.workers {
 		payload, err := w.expect(frameAddr)
 		if err != nil {
-			return nil, engine.Stats{}, err
+			return nil, engine.Stats{}, nil, err
 		}
 		addrs[w.id] = string(payload)
 	}
@@ -126,16 +167,16 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 	activeMasters := 0
 	for _, w := range c.workers {
 		if err := w.writeFrame(frameAddrs, addrBuf); err != nil {
-			return nil, engine.Stats{}, fmt.Errorf("wire: addrs to worker %d: %w", w.id, err)
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: addrs to worker %d: %w", w.id, err)
 		}
 	}
 	for _, w := range c.workers {
 		payload, err := w.expect(frameReady)
 		if err != nil {
-			return nil, engine.Stats{}, err
+			return nil, engine.Stats{}, nil, err
 		}
 		if len(payload) != 12 {
-			return nil, engine.Stats{}, fmt.Errorf("wire: worker %d ready payload %d bytes, want 12", w.id, len(payload))
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: worker %d ready payload %d bytes, want 12", w.id, len(payload))
 		}
 		stats.TotalReplicas += int(binary.BigEndian.Uint32(payload[0:4]))
 		stats.Masters += int(binary.BigEndian.Uint32(payload[4:8]))
@@ -152,7 +193,7 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 		for ph := 0; ph < engine.NumPhases; ph++ {
 			for _, w := range c.workers {
 				if err := w.writeFrame(framePhase, []byte{byte(ph)}); err != nil {
-					return nil, engine.Stats{}, fmt.Errorf("wire: phase %d to worker %d: %w", ph, w.id, err)
+					return nil, engine.Stats{}, nil, fmt.Errorf("wire: phase %d to worker %d: %w", ph, w.id, err)
 				}
 			}
 			if ph == engine.NumPhases-1 {
@@ -162,16 +203,16 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 			for _, w := range c.workers {
 				payload, err := w.expect(framePhaseDone)
 				if err != nil {
-					return nil, engine.Stats{}, err
+					return nil, engine.Stats{}, nil, err
 				}
 				if len(payload) != 4+totalsSize {
-					return nil, engine.Stats{}, fmt.Errorf("wire: worker %d phase-done payload %d bytes, want %d", w.id, len(payload), 4+totalsSize)
+					return nil, engine.Stats{}, nil, fmt.Errorf("wire: worker %d phase-done payload %d bytes, want %d", w.id, len(payload), 4+totalsSize)
 				}
 				if ph == engine.NumPhases-1 {
 					activeMasters += int(binary.BigEndian.Uint32(payload[0:4]))
 					wt, err := decodeTotals(payload[4:])
 					if err != nil {
-						return nil, engine.Stats{}, fmt.Errorf("wire: worker %d: %w", w.id, err)
+						return nil, engine.Stats{}, nil, fmt.Errorf("wire: worker %d: %w", w.id, err)
 					}
 					tot = addTotals(tot, wt)
 				}
@@ -207,27 +248,46 @@ func RunCluster(g *graph.Graph, a *partition.Assignment, prog engine.Program, ma
 	}
 	for _, w := range c.workers {
 		if err := w.writeFrame(frameFinish, nil); err != nil {
-			return nil, engine.Stats{}, fmt.Errorf("wire: finish to worker %d: %w", w.id, err)
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: finish to worker %d: %w", w.id, err)
 		}
 	}
 	for _, w := range c.workers {
 		payload, err := w.expect(frameResult)
 		if err != nil {
-			return nil, engine.Stats{}, err
+			return nil, engine.Stats{}, nil, err
 		}
 		if err := decodeResult(payload, w.id, p, n, values, links); err != nil {
-			return nil, engine.Stats{}, fmt.Errorf("wire: worker %d result: %w", w.id, err)
+			return nil, engine.Stats{}, nil, fmt.Errorf("wire: worker %d result: %w", w.id, err)
 		}
 	}
 	stats.Links = links
 
+	// Telemetry upload: each worker ships its process snapshot after its
+	// result. Strictly record-only — the values and stats above are already
+	// final before the first telemetry frame is read.
+	var ct *ClusterTelemetry
+	if collect {
+		ct = &ClusterTelemetry{TraceID: traceID, Workers: make([]obs.ProcessSnapshot, 0, p)}
+		for _, w := range c.workers {
+			payload, err := w.expect(frameTelemetry)
+			if err != nil {
+				return nil, engine.Stats{}, nil, err
+			}
+			snap, err := obs.DecodeSnapshot(payload)
+			if err != nil {
+				return nil, engine.Stats{}, nil, fmt.Errorf("wire: worker %d telemetry: %w", w.id, err)
+			}
+			ct.Workers = append(ct.Workers, snap)
+		}
+	}
+
 	if err := c.waitWorkers(); err != nil {
-		return nil, engine.Stats{}, err
+		return nil, engine.Stats{}, nil, err
 	}
 	sp.EndWith(obs.Int("supersteps", stats.Supersteps),
 		obs.Int64("messages", stats.Messages()),
 		obs.Int64("bytes", stats.Bytes()))
-	return values, stats, nil
+	return values, stats, ct, nil
 }
 
 // commandOrSelf resolves the worker argv, defaulting to the current binary.
@@ -471,6 +531,28 @@ func runWorker(env string) error {
 		return fmt.Errorf("hello: %w", err)
 	}
 
+	// Trace context is the first coordinator frame: validate the protocol
+	// version before trusting any later frame layout, then adopt the run's
+	// trace id and (if asked) start recording for the drain-time upload.
+	_ = conn.SetReadDeadline(wallDeadline(setupTimeout))
+	tctx, err := link.expect(frameTrace)
+	if err != nil {
+		return err
+	}
+	if len(tctx) != traceCtxSize {
+		return fmt.Errorf("trace context payload %d bytes, want %d", len(tctx), traceCtxSize)
+	}
+	if v := binary.BigEndian.Uint16(tctx[0:2]); v != clusterProtocolVersion {
+		return fmt.Errorf("coordinator speaks cluster protocol v%d, this worker speaks v%d", v, clusterProtocolVersion)
+	}
+	traceID := binary.BigEndian.Uint64(tctx[2:10])
+	collect := tctx[10]&traceFlagCollect != 0
+	if collect {
+		obs.Enable()
+	}
+	wsp := obs.Start("wire.worker", obs.Int("machine", id),
+		obs.Int64("trace_id", int64(traceID)))
+
 	g, a, prog, err := readSpec(link)
 	if err != nil {
 		return err
@@ -516,6 +598,8 @@ func runWorker(env string) error {
 		return fmt.Errorf("ready: %w", err)
 	}
 
+	step := -1
+	var ssp obs.Span
 	for {
 		_ = conn.SetReadDeadline(wallDeadline(clusterIOTimeout))
 		kind, payload, err := link.rd.ReadFrame()
@@ -527,10 +611,21 @@ func runWorker(env string) error {
 			if len(payload) != 1 {
 				return fmt.Errorf("phase payload %d bytes, want 1", len(payload))
 			}
-			if err := host.Step(int(payload[0])); err != nil {
+			ph := int(payload[0])
+			if ph == 0 {
+				ssp.End()
+				step++
+				ssp = wsp.Child("wire.worker.superstep", obs.Int("step", step))
+			}
+			psp := ssp.Child(engine.PhaseName(ph), obs.Int("step", step), obs.Int("phase", ph))
+			if err := host.Step(ph); err != nil {
 				return err
 			}
 			tr.Flip()
+			psp.End()
+			if ph == engine.NumPhases-1 {
+				ssp.EndWith(obs.Int("active_masters", host.ActiveMasters()))
+			}
 			done := make([]byte, 0, 4+totalsSize)
 			done = binary.BigEndian.AppendUint32(done, uint32(host.ActiveMasters()))
 			done = appendTotals(done, tr.Totals())
@@ -538,7 +633,20 @@ func runWorker(env string) error {
 				return fmt.Errorf("phase-done: %w", err)
 			}
 		case frameFinish:
-			return link.writeFrame(frameResult, workerResult(host, tr))
+			ssp.End()
+			wsp.End()
+			if err := link.writeFrame(frameResult, workerResult(host, tr)); err != nil {
+				return err
+			}
+			// Drain-time telemetry upload: only after the result frame, so
+			// the coordinator has every output byte before any telemetry.
+			if collect {
+				snap := obs.CaptureSnapshot(fmt.Sprintf("worker%d", id), id+1)
+				if err := link.writeFrame(frameTelemetry, snap.Encode()); err != nil {
+					return fmt.Errorf("telemetry upload: %w", err)
+				}
+			}
+			return nil
 		default:
 			return fmt.Errorf("unexpected control frame %#02x", kind)
 		}

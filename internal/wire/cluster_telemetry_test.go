@@ -1,0 +1,185 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	graphpart "github.com/graphpart/graphpart"
+	"github.com/graphpart/graphpart/internal/engine"
+	"github.com/graphpart/graphpart/internal/obs"
+	"github.com/graphpart/graphpart/internal/wire"
+)
+
+// TestClusterRecordOnlyWithTelemetry is the record-only contract on the
+// cluster path: a full RunCluster PageRank at p in {2, 8} with
+// GRAPHPART_TELEMETRY=1 (inherited by every worker process) must be
+// bit-identical — values, superstep count, per-step totals and the traffic
+// matrix — to the untraced run over the same partition.
+func TestClusterRecordOnlyWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g := oracleGraph(19, 300, 900)
+	n := g.NumVertices()
+	parts := graphpart.AllPartitioners(42)
+	for _, p := range []int{2, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			a, err := parts["tlp"].Partition(g, p)
+			if err != nil {
+				t.Fatalf("partition: %v", err)
+			}
+			prog := func() engine.Program { return engine.NewPageRank(n, 0.85, 1e-8) }
+
+			// Untraced baseline: telemetry off in the coordinator and no
+			// collection requested of workers.
+			wasEnabled := obs.Enabled()
+			obs.Disable()
+			t.Cleanup(func() {
+				if wasEnabled {
+					obs.Enable()
+				}
+			})
+			baseVals, baseStats, err := wire.RunCluster(g, a, prog(), 20, nil)
+			if err != nil {
+				t.Fatalf("untraced RunCluster: %v", err)
+			}
+
+			// Traced run: the env var switches recording on in every worker
+			// process at startup, and the enabled coordinator requests
+			// drain-time snapshot uploads.
+			t.Setenv(obs.EnvEnable, "1")
+			obs.Enable()
+			gotVals, gotStats, ct, err := wire.RunClusterTraced(g, a, prog(), 20, nil)
+			if err != nil {
+				t.Fatalf("traced RunClusterTraced: %v", err)
+			}
+
+			for v := range baseVals {
+				if gotVals[v] != baseVals[v] {
+					t.Fatalf("vertex %d: traced %v != untraced %v (telemetry influenced output)",
+						v, gotVals[v], baseVals[v])
+				}
+			}
+			if gotStats.Supersteps != baseStats.Supersteps {
+				t.Fatalf("supersteps: traced %d, untraced %d", gotStats.Supersteps, baseStats.Supersteps)
+			}
+			if len(gotStats.PerStep) != len(baseStats.PerStep) {
+				t.Fatalf("per-step lengths: traced %d, untraced %d",
+					len(gotStats.PerStep), len(baseStats.PerStep))
+			}
+			for i := range baseStats.PerStep {
+				if gotStats.PerStep[i] != baseStats.PerStep[i] {
+					t.Fatalf("step %d totals: traced %+v, untraced %+v",
+						i, gotStats.PerStep[i], baseStats.PerStep[i])
+				}
+			}
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if gotStats.Links.Messages[i][j] != baseStats.Links.Messages[i][j] ||
+						gotStats.Links.Bytes[i][j] != baseStats.Links.Bytes[i][j] {
+						t.Fatalf("link %d->%d traffic differs with telemetry on", i, j)
+					}
+				}
+			}
+
+			// The telemetry itself: one snapshot per worker, each with the
+			// root span, every superstep, and every phase recorded.
+			if ct == nil {
+				t.Fatal("RunClusterTraced returned nil telemetry with telemetry enabled")
+			}
+			if len(ct.Workers) != p {
+				t.Fatalf("got %d worker snapshots, want %d", len(ct.Workers), p)
+			}
+			for k, ws := range ct.Workers {
+				if ws.Process != fmt.Sprintf("worker%d", k) || ws.PID != k+1 {
+					t.Fatalf("worker %d snapshot identity: %s/pid %d", k, ws.Process, ws.PID)
+				}
+				names := map[string]int{}
+				for _, rec := range ws.Records {
+					names[rec.Name]++
+				}
+				if names["wire.worker"] != 1 {
+					t.Fatalf("worker %d: %d wire.worker root spans", k, names["wire.worker"])
+				}
+				if names["wire.worker.superstep"] != gotStats.Supersteps {
+					t.Fatalf("worker %d: %d superstep spans, ran %d supersteps",
+						k, names["wire.worker.superstep"], gotStats.Supersteps)
+				}
+				for ph := 0; ph < engine.NumPhases; ph++ {
+					if names[engine.PhaseName(ph)] < gotStats.Supersteps {
+						t.Fatalf("worker %d: %d %s spans, want >= %d",
+							k, names[engine.PhaseName(ph)], engine.PhaseName(ph), gotStats.Supersteps)
+					}
+				}
+			}
+
+			// Barrier skew: one instant per superstep (every machine enters
+			// every superstep), and the merged trace must validate with all
+			// worker lanes present.
+			skews := ct.BarrierSkew()
+			if len(skews) != gotStats.Supersteps {
+				t.Fatalf("%d barrier-skew instants, want %d", len(skews), gotStats.Supersteps)
+			}
+			for _, sk := range skews {
+				if sk.SkewNanos < 0 {
+					t.Fatalf("negative skew at step %d: %+v", sk.Step, sk)
+				}
+			}
+			var buf bytes.Buffer
+			if err := ct.WriteChromeTrace(&buf); err != nil {
+				t.Fatalf("WriteChromeTrace: %v", err)
+			}
+			if _, err := obs.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatalf("merged trace invalid: %v", err)
+			}
+			out := buf.String()
+			for k := 0; k < p; k++ {
+				if !strings.Contains(out, fmt.Sprintf("\"worker%d\"", k)) {
+					t.Fatalf("merged trace missing lane for worker%d", k)
+				}
+			}
+			if !strings.Contains(out, "\"cluster.barrier_skew\"") {
+				t.Fatal("merged trace has no barrier-skew instants")
+			}
+
+			// Merged metrics carry machine-labelled counters from every
+			// worker plus the cross-process aggregate.
+			merged := ct.MergedMetrics()
+			var perWorker int64
+			for k := 0; k < p; k++ {
+				perWorker += merged.Counters[fmt.Sprintf("worker%d/engine.host.steps", k)]
+			}
+			if agg := merged.Counters["engine.host.steps"]; agg == 0 || agg != perWorker {
+				t.Fatalf("aggregate engine.host.steps = %d, per-worker sum = %d", agg, perWorker)
+			}
+		})
+	}
+}
+
+// TestClusterTracedDisabled checks RunClusterTraced degrades to RunCluster
+// when telemetry is off: same results, nil telemetry.
+func TestClusterTracedDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	if obs.Enabled() {
+		t.Skip("telemetry forced on in this environment")
+	}
+	g := oracleGraph(7, 80, 160)
+	a, err := graphpart.AllPartitioners(1)["tlp"].Partition(g, 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	vals, stats, ct, err := wire.RunClusterTraced(g, a, engine.NewPageRank(g.NumVertices(), 0.85, 1e-8), 10, nil)
+	if err != nil {
+		t.Fatalf("RunClusterTraced: %v", err)
+	}
+	if ct != nil {
+		t.Fatal("telemetry returned with recording disabled")
+	}
+	if len(vals) != g.NumVertices() || stats.Supersteps < 1 {
+		t.Fatalf("implausible result: %d values, %d supersteps", len(vals), stats.Supersteps)
+	}
+}

@@ -56,6 +56,14 @@ const (
 	// stream, keeping every frame well under MaxFrameSize for any dataset.
 	frameEdges byte = 0x28
 	frameParts byte = 0x29
+	// frameTrace is the versioned trace-context frame the coordinator sends
+	// each worker right after its hello: protocol version, trace id, and
+	// whether the worker should ship telemetry back at drain.
+	frameTrace byte = 0x2A
+	// frameTelemetry carries a worker's encoded obs.ProcessSnapshot back to
+	// the coordinator after its result frame (only when trace context
+	// requested collection). Pure control plane: never counted as traffic.
+	frameTelemetry byte = 0x2B
 )
 
 // FrameError is a framing or decoding failure, located by the byte offset

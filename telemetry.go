@@ -85,3 +85,34 @@ func WriteTraceJSONL(w io.Writer) error { return obs.WriteTraceJSONL(w) }
 
 // WriteMetricsJSON writes a snapshot of every metric as indented JSON.
 func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
+
+// ProcessSnapshot is one process's serialisable telemetry state: its trace
+// records, metrics, identity and clock epoch. Cluster workers ship these to
+// the coordinator for merged-trace export.
+type ProcessSnapshot = obs.ProcessSnapshot
+
+// MetricsSnapshot is a point-in-time copy of a metrics registry.
+type MetricsSnapshot = obs.MetricsSnapshot
+
+// SkewInstant is one per-superstep barrier-skew measurement across the
+// machines of a cluster run.
+type SkewInstant = obs.SkewInstant
+
+// CaptureTelemetrySnapshot copies this process's current trace and metrics
+// into a ProcessSnapshot labelled process/pid (pid is a trace lane id).
+func CaptureTelemetrySnapshot(process string, pid int) ProcessSnapshot {
+	return obs.CaptureSnapshot(process, pid)
+}
+
+// MergeTelemetrySnapshots aggregates per-process metric snapshots into one
+// machine-labelled view: "<process>/<name>" entries per process plus
+// cross-process aggregates under the plain name.
+func MergeTelemetrySnapshots(snaps []ProcessSnapshot) MetricsSnapshot {
+	return obs.MergeSnapshots(snaps)
+}
+
+// WriteMergedChromeTrace writes multiple process snapshots as one Chrome
+// trace with a named lane per process and the given barrier-skew instants.
+func WriteMergedChromeTrace(w io.Writer, snaps []ProcessSnapshot, skews []SkewInstant) error {
+	return obs.WriteMergedChromeTrace(w, snaps, skews)
+}
